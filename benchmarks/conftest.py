@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulated testbed and asserts the *shape* claims (who wins, by what rough
+factor, where crossovers/saturation sit).  Absolute wall-clock time of the
+benchmark measures how fast the simulator reproduces the experiment; the
+simulated metrics are printed as tables.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,47 @@
+"""Bench: ablations of DPC's design choices (not in the paper's eval)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_queue_count(once):
+    table = once(ablations.queue_count)
+    print()
+    print(table.render())
+    d = {(r[0], r[1]): r[2] for r in table.rows}
+    # A single depth-1 queue serialises everything; queue depth alone buys
+    # an order of magnitude, multi-queue adds headroom on top.
+    assert d[(1, 128)] > 5 * d[(1, 1)]
+    assert d[(32, 128)] >= d[(1, 128)] * 0.95
+
+
+def test_ablation_cache_placement(once):
+    table = once(ablations.cache_placement)
+    print()
+    print(table.render())
+    d = {r[0]: (r[1], r[2], r[3]) for r in table.rows}
+    hybrid, dpu = d["hybrid (host)"], d["DPU-resident"]
+    # A hybrid hit is several times faster and moves no PCIe payload.
+    assert hybrid[0] < dpu[0] / 2
+    assert hybrid[1] == 0 and hybrid[2] == 0
+    assert dpu[2] > 8192  # the 8K payload crosses PCIe every hit
+
+
+def test_ablation_delegations(once):
+    table = once(ablations.delegations)
+    print()
+    print(table.render())
+    d = {r[0]: (r[1], r[2]) for r in table.rows}
+    # Delegated creates are faster and touch the MDS far less.
+    assert d["on"][0] > 1.5 * d["off"][0]
+    assert d["on"][1] < d["off"][1] / 2
+
+
+def test_ablation_ec_geometry(once):
+    table = once(ablations.ec_geometry)
+    print()
+    print(table.render())
+    overheads = table.column("storage_overhead")
+    # Wider geometries trade storage overhead for... storage overhead.
+    assert overheads[0] > overheads[1] > overheads[2]
+    # All geometries sustain six-figure random-write IOPS on this backend.
+    assert all(v > 5e4 for v in table.column("iops"))

@@ -1,0 +1,18 @@
+"""Bench: Figure 1 — the motivation: optimized fs-client IOPS vs CPU tax."""
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(once):
+    table = once(fig1_motivation.run, ops_per_thread=20)
+    print()
+    print(table.render())
+    rows = {(r[0], r[1]): {"iops": r[2], "cores": r[3]} for r in table.rows}
+    for mode in ("randread", "randwrite", "randrw"):
+        std = rows[(mode, "standard")]
+        opt = rows[(mode, "optimized")]
+        # ~4x IOPS improvement (paper: "more than 4 times").
+        assert opt["iops"] / std["iops"] > 3.0
+        # Several-fold more CPU cores (paper: 4-6x in Fig.1, 6-15x in §4.3).
+        ratio = opt["cores"] / max(std["cores"], 1e-9)
+        assert 4.0 < ratio < 16.0

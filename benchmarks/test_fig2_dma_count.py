@@ -1,0 +1,19 @@
+"""Bench: Figure 2(b)/Figure 4 — DMA operations per request."""
+
+from repro.experiments import fig2_dma
+
+
+def test_fig2_dma_count(once):
+    table = once(fig2_dma.run)
+    print()
+    print(table.render())
+    rows = {(r[0], r[1], r[2]): r[3] for r in table.rows}
+    # The paper's headline counts, exactly.
+    assert rows[("virtio-fs", "write", 8192)] == 11
+    assert rows[("virtio-fs", "read", 8192)] == 11
+    assert rows[("nvme-fs", "write", 8192)] == 4
+    assert rows[("nvme-fs", "read", 8192)] == 4
+    # nvme-fs stays flat with size; virtio-fs never gets close.
+    for size in (4096, 8192, 65536):
+        assert rows[("nvme-fs", "write", size)] == 4
+        assert rows[("virtio-fs", "write", size)] >= 2 * rows[("nvme-fs", "write", size)]

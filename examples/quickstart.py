@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: a diskless application server using DPC's standalone service.
+
+Builds the full simulated DPC deployment (host VFS + fs-adapter, nvme-fs
+over PCIe, DPU running IO_Dispatch + KVFS + the hybrid-cache control plane,
+and the disaggregated KV store on the fabric), then exercises ordinary
+POSIX-style file operations against the ``/kvfs`` mount.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_dpc_system
+from repro.host.adapters import O_DIRECT
+from repro.host.vfs import O_CREAT
+from repro.metrics.stats import fmt_us
+
+
+def main() -> None:
+    system = build_dpc_system()
+    vfs = system.vfs
+
+    def app():
+        # Create a config tree, as a freshly provisioned server would.
+        yield from vfs.mkdir("/kvfs/etc")
+        yield from vfs.mkdir("/kvfs/etc/myapp")
+        f = yield from vfs.open("/kvfs/etc/myapp/app.conf", O_CREAT)
+        yield from vfs.write(f, 0, b"workers = 8\nregion = eu-central\n")
+        yield from vfs.fsync(f)
+
+        # Buffered data file: writes land in the hybrid cache on the host;
+        # the DPU control plane writes them back to the KV store behind us.
+        data = yield from vfs.open("/kvfs/var-data.bin", O_CREAT)
+        t0 = system.env.now
+        yield from vfs.write(data, 0, b"\xaa" * 8192)
+        buffered_us = system.env.now - t0
+
+        # Direct I/O goes straight through nvme-fs to KVFS.
+        direct = yield from vfs.open("/kvfs/var-direct.bin", O_CREAT | O_DIRECT)
+        t0 = system.env.now
+        yield from vfs.write(direct, 0, b"\xbb" * 8192)
+        direct_us = system.env.now - t0
+
+        listing = yield from vfs.readdir("/kvfs/etc/myapp")
+        st = yield from vfs.stat("/kvfs/etc/myapp/app.conf")
+        content = yield from vfs.read(f, 0, st.size)
+        return buffered_us, direct_us, listing, st, content
+
+    buffered, direct, listing, st, content = system.run_until(app())
+
+    print("DPC quickstart (all times are simulated)")
+    print(f"  /kvfs/etc/myapp listing : {[name.decode() for name, _ in listing]}")
+    print(f"  app.conf size           : {st.size} bytes")
+    print(f"  app.conf content        : {content.decode()!r}")
+    print(f"  8K buffered write       : {fmt_us(buffered)}  (hybrid-cache hit path)")
+    print(f"  8K direct write         : {fmt_us(direct)}  (nvme-fs -> DPU -> KV store)")
+    print(f"  PCIe DMA ops so far     : {system.link.stats.ops()}")
+    print(f"  KV ops served           : {system.kv_cluster.total_ops()}")
+    print(f"  host cores busy (avg)   : {system.host_cpu.busy_seconds / system.env.now:.2f}")
+    print(f"  DPU cores busy (avg)    : {system.dpu_cpu.busy_seconds / system.env.now:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""nvme-fs vs virtio-fs: the raw host-DPU transport microbenchmark.
+
+The §4.1 rig: both transports answer from the in-memory virtual client in
+the DPU, so everything measured is protocol cost.  Prints per-op DMA
+transaction counts (the Figure 2(b)/Figure 4 argument) and the round-trip
+latency / IOPS / bandwidth comparison of Figure 6.
+
+Run:  python examples/raw_transport.py
+"""
+
+from repro.experiments import fig2_dma, fig6_raw
+from repro.metrics.stats import fmt_iops
+
+
+def main() -> None:
+    print("DMA transactions per 8 KiB write:")
+    for kind in ("virtio-fs", "nvme-fs"):
+        counts = fig2_dma.count_dmas(kind, "write", 8192)
+        tags = ", ".join(f"{k}x{v}" for k, v in sorted(counts["by_tag"].items())
+                         if k not in ("sq-doorbell", "virtio-kick"))
+        print(f"  {kind:>9}: {counts['ops']:2d}  ({tags})")
+    print()
+
+    print("Round trip & IOPS (8 KiB):")
+    for kind in ("virtio-fs", "nvme-fs"):
+        one = fig6_raw._sweep_one(kind, "write", 8192, 1, 40, None)
+        many = fig6_raw._sweep_one(kind, "write", 8192, 32, 30, None)
+        print(
+            f"  {kind:>9}: 1 thread {one[1] * 1e6:5.1f}us,  "
+            f"32 threads {fmt_iops(many[0]):>8} IOPS ({many[1] * 1e6:5.1f}us)"
+        )
+    print()
+
+    print("1 MiB sequential bandwidth, 16 threads:")
+    table = fig6_raw.run_bandwidth(ops_per_thread=8)
+    for transport, rw, gbs in table.rows:
+        print(f"  {transport:>9} {rw:5}: {gbs:5.2f} GB/s")
+    print("\n(PCIe 3.0 x16 ceiling is ~15.75 GB/s — nvme-fs saturates it;")
+    print(" virtio-fs is stuck behind its single queue and page-grained DMA)")
+
+
+if __name__ == "__main__":
+    main()

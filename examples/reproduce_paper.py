@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment modules (DESIGN.md §3) with their default scaled
+parameters and writes the tables to stdout and to ``results/report.txt``.
+Expect a few minutes of wall time — these are full simulations.
+
+Run:  python examples/reproduce_paper.py [--fast]
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig1_motivation,
+    fig2_dma,
+    fig6_raw,
+    fig7_standalone,
+    fig8_cache,
+    fig9_dfs,
+    table2_bandwidth,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="trim sweeps for a quicker pass"
+    )
+    parser.add_argument(
+        "--out", default="results/report.txt", help="where to write the report"
+    )
+    args = parser.parse_args()
+    fast = args.fast
+
+    sections = [
+        ("Figure 2(b)/4 — DMA counts", lambda: [fig2_dma.run()]),
+        (
+            "Figure 6 — raw transport",
+            lambda: fig6_raw.run(scaled=True)
+            if not fast
+            else [fig6_raw.run_iops_latency(thread_counts=(1, 32), ops_per_thread=20)],
+        ),
+        (
+            "Figure 7 — Ext4 vs KVFS",
+            lambda: [
+                fig7_standalone.run(
+                    thread_counts=(1, 32, 64, 128, 256) if not fast else (1, 64, 256),
+                    ops_per_thread=20 if fast else 30,
+                )
+            ],
+        ),
+        ("Figure 8 — hybrid cache", lambda: fig8_cache.run(scaled=True)),
+        ("Table 2 — bandwidth", lambda: [table2_bandwidth.run(scaled=True)]),
+        ("Figure 1 — motivation", lambda: [fig1_motivation.run(ops_per_thread=20)]),
+        (
+            "Figure 9 — DFS clients",
+            lambda: [fig9_dfs.run(ops_per_thread=12 if fast else 15)],
+        ),
+        (
+            "Ablations",
+            lambda: [
+                ablations.queue_count(),
+                ablations.cache_placement(),
+                ablations.delegations(),
+                ablations.ec_geometry(),
+            ],
+        ),
+    ]
+
+    lines = ["DPC reproduction report", "=" * 60, ""]
+    for title, fn in sections:
+        t0 = time.time()
+        print(f"[{title}] running ...", flush=True)
+        tables = fn()
+        wall = time.time() - t0
+        lines.append(f"## {title}  (simulated in {wall:.1f}s wall time)")
+        for table in tables:
+            lines.append(table.render())
+            lines.append("")
+        print("\n".join(t.render() for t in tables))
+        print()
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(lines))
+    print(f"report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

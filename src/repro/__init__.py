@@ -1,0 +1,14 @@
+"""repro: a simulation-backed reproduction of DPC (ICPP '24).
+
+DPC is a DPU-accelerated file system client offering a standalone file
+service (KVFS over a disaggregated KV store) and an offloaded distributed
+file system client, reached from the host through the nvme-fs protocol with
+a hybrid host/DPU cache.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced results.
+"""
+
+from .params import SystemParams, default_params
+
+__version__ = "1.0.0"
+
+__all__ = ["SystemParams", "default_params", "__version__"]

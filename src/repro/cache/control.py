@@ -1,0 +1,505 @@
+"""DPU-side control plane of the hybrid cache.
+
+Everything here runs on DPU cores and touches the host-resident cache only
+through DMA and PCIe atomics — the control/data-plane separation of paper
+§3.3.  Three responsibilities:
+
+* **Flushing**: periodically scan the meta area (bucket-targeted, using the
+  dirty hints the host posts), read-lock dirty pages, pull their data to DPU
+  DRAM by DMA, run the back-end writeback (compression/DIF/EC happen here in
+  the real system), then mark them clean and unlock — all atomically.
+* **Replacement**: serve the host's "bucket full" requests by choosing a
+  victim with a pluggable policy (LRU/CLOCK shadow state lives in DPU DRAM),
+  writing it back if dirty, and freeing the entry.
+* **Prefetching**: watch the host's miss notifications, detect sequential
+  streams, fetch ahead from the backend and install pages into the host
+  cache by DMA.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Generator, Optional
+
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.cpu import CpuPool
+from ..sim.pcie import PcieLink
+from ..sim.resources import Store
+from .layout import (
+    CacheLayout,
+    ENTRY_SIZE,
+    LOCK_FREE,
+    LOCK_READ,
+    LOCK_WRITE,
+    NIL,
+    ST_CLEAN,
+    ST_DIRTY,
+    ST_FREE,
+    ST_INVALID,
+)
+from .policies import ClockPolicy, SequentialPrefetcher
+
+__all__ = ["CacheControlPlane"]
+
+#: entry field offsets duplicated from layout (the control plane parses raw
+#: DMA'd entry bytes rather than using host-side accessors)
+import struct
+
+_ENTRY = struct.Struct("<IIIIQQ")  # lock, status, next, pad, lpn, inode
+
+# Writeback/fetch backends: generators so they can cross the network.
+Writeback = Callable[[int, int, bytes], Generator]
+Fetch = Callable[[int, int], Generator]
+
+
+class CacheControlPlane:
+    """The offloaded cache manager."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: PcieLink,
+        dpu_cpu: CpuPool,
+        params: SystemParams,
+        layout: CacheLayout,
+        mailbox: Store,
+        writeback: Writeback,
+        fetch: Optional[Fetch] = None,
+        prefetch_enabled: bool = True,
+        dif_enabled: bool = True,
+    ):
+        self.env = env
+        self.link = link
+        self.dpu_cpu = dpu_cpu
+        self.params = params
+        self.layout = layout
+        self.mailbox = mailbox
+        self.writeback = writeback
+        self.fetch = fetch
+        self.policy = ClockPolicy()
+        self.prefetcher = SequentialPrefetcher(window=params.prefetch_window)
+        self.prefetch_enabled = prefetch_enabled and fetch is not None
+        #: buckets the host has flagged as containing dirty pages
+        self._dirty_buckets: set[int] = set()
+        #: entry index -> (inode, lpn) shadow for policy decisions
+        self._shadow: dict[int, tuple[int, int]] = {}
+        self._prefetch_inflight: set[tuple[int, int]] = set()
+        #: bounds concurrent prefetch fetches so streams cannot starve the
+        #: backend (and each other) under high thread counts
+        from ..sim.resources import Resource as _Resource
+
+        self._prefetch_slots = _Resource(env, 256)
+        #: DIF: per-page CRCs computed at flush time (paper §3.3 lists DIF
+        #: among the flush-path computations) and verified when the page is
+        #: re-fetched from the backend.
+        self.dif_enabled = dif_enabled
+        self._dif: dict[tuple[int, int], int] = {}
+        self.dif_checks = 0
+        self.dif_errors = 0
+        self.flushed_pages = 0
+        self.evictions = 0
+        self.prefetched_pages = 0
+        env.process(self._server(), name="cache-ctrl")
+        env.process(self._flusher(), name="cache-flusher")
+
+    # ------------------------------------------------------------------ server
+    def _server(self) -> Generator[Event, None, None]:
+        while True:
+            msg = yield self.mailbox.get()
+            kind = msg[0]
+            if kind == "touch":
+                _, inode, lpn, idx = msg
+                self.policy.touch(idx)
+                self._shadow[idx] = (inode, lpn)
+                # Hits keep a sequential stream's window extending ahead of
+                # the reader (misses alone would stall once the window fills).
+                if self.prefetch_enabled:
+                    for want in self.prefetcher.observe(inode, lpn):
+                        key = (inode, want)
+                        if key not in self._prefetch_inflight:
+                            self._prefetch_inflight.add(key)
+                            self.env.process(
+                                self._prefetch_one(inode, want), name="prefetch"
+                            )
+            elif kind == "dirty":
+                self._dirty_buckets.add(msg[1])
+            elif kind == "forget":
+                self.policy.forget(msg[1])
+                self._shadow.pop(msg[1], None)
+            elif kind == "miss":
+                _, inode, lpn = msg
+                yield from self.dpu_cpu.execute(
+                    self.params.dpu_cache_ctrl_cost, tag="cache-ctrl"
+                )
+                if self.prefetch_enabled:
+                    wanted = self.prefetcher.observe(inode, lpn)
+                    for want in wanted:
+                        key = (inode, want)
+                        if key not in self._prefetch_inflight:
+                            self._prefetch_inflight.add(key)
+                            self.env.process(
+                                self._prefetch_one(inode, want), name="prefetch"
+                            )
+            elif kind == "evict":
+                _, bucket, reply = msg
+                yield from self.dpu_cpu.execute(
+                    self.params.dpu_cache_ctrl_cost, tag="cache-ctrl"
+                )
+                yield from self._evict_from_bucket(bucket)
+                yield reply.put("evicted")
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown cache control message {kind!r}")
+
+    # ------------------------------------------------------------------ DMA meta access
+    def _dma_read_entry(self, index: int) -> Generator[Event, None, dict]:
+        raw = yield from self.link.dma_read(
+            self.layout.entry_addr(index), ENTRY_SIZE, tag="meta-read"
+        )
+        lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack(raw)
+        return {"lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode}
+
+    def _dma_read_bucket(self, bucket: int) -> Generator[Event, None, list[tuple[int, dict]]]:
+        """Read a whole bucket's entries in one DMA (they are contiguous)."""
+        lay = self.layout
+        first = lay.bucket_head(bucket)
+        raw = yield from self.link.dma_read(
+            lay.entry_addr(first), ENTRY_SIZE * lay.entries_per_bucket, tag="meta-scan"
+        )
+        out = []
+        for j in range(lay.entries_per_bucket):
+            lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack_from(raw, j * ENTRY_SIZE)
+            out.append(
+                (first + j, {"lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode})
+            )
+        return out
+
+    # ------------------------------------------------------------------ flushing
+    def _flusher(self) -> Generator[Event, None, None]:
+        p = self.params
+        full_sweep_countdown = 0
+        while True:
+            yield self.env.timeout(p.cache_flush_period)
+            buckets = sorted(self._dirty_buckets)
+            self._dirty_buckets.clear()
+            if not buckets:
+                full_sweep_countdown += 1
+                if full_sweep_countdown >= 50:
+                    # Rare straggler sweep over the whole meta area.
+                    full_sweep_countdown = 0
+                    buckets = list(range(self.layout.buckets))
+                else:
+                    continue
+            flushed = 0
+            for bucket in buckets:
+                if flushed >= p.cache_flush_batch:
+                    self._dirty_buckets.add(bucket)  # revisit next period
+                    continue
+                flushed += yield from self._flush_bucket(bucket, p.cache_flush_batch - flushed)
+
+    def _flush_bucket(self, bucket: int, budget: int) -> Generator[Event, None, int]:
+        entries = yield from self._dma_read_bucket(bucket)
+        flushed = 0
+        for idx, ent in entries:
+            if flushed >= budget:
+                self._dirty_buckets.add(bucket)
+                break
+            if ent["status"] != ST_DIRTY or ent["lock"] != LOCK_FREE:
+                continue
+            n = yield from self._flush_entry(idx)
+            flushed += n
+        return flushed
+
+    def _flush_entry(self, idx: int) -> Generator[Event, None, int]:
+        """Write back one dirty page; returns 1 if flushed."""
+        lay = self.layout
+        ok = yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_FREE, LOCK_READ, tag="lock-cas"
+        )
+        if not ok:
+            return 0
+        ent = yield from self._dma_read_entry(idx)
+        flushed = 0
+        if ent["status"] == ST_DIRTY:
+            data = yield from self.link.dma_read(
+                lay.page_addr(idx), lay.page_size, tag="flush-data"
+            )
+            # Backend processing (EC/compression run here in the paper; we
+            # compute the DIF guard tag on the DPU).
+            yield from self.dpu_cpu.execute(
+                self.params.dpu_cache_ctrl_cost, tag="cache-flush"
+            )
+            if self.dif_enabled:
+                yield from self.dpu_cpu.execute(0.3e-6, tag="cache-dif")
+                self._dif[(ent["inode"], ent["lpn"])] = zlib.crc32(data)
+            yield from self.writeback(ent["inode"], ent["lpn"], data)
+            # Mark clean: 4-byte DMA write of the status field.
+            yield from self.link.dma_write(
+                lay.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="flush-status"
+            )
+            self.flushed_pages += 1
+            flushed = 1
+        yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_READ, LOCK_FREE, tag="lock-cas"
+        )
+        return flushed
+
+    def flush_all(self) -> Generator[Event, None, int]:
+        """Synchronously flush every dirty page (fsync/unmount path).
+
+        Pages transiently locked by the host or by a concurrent flusher are
+        retried until no dirty page remains (bounded passes).
+        """
+        total = 0
+        for _attempt in range(12):
+            for bucket in range(self.layout.buckets):
+                total += yield from self._flush_bucket(bucket, self.layout.pages)
+            # Any dirty page left (e.g. locked mid-pass)?
+            remaining = False
+            for bucket in range(self.layout.buckets):
+                entries = yield from self._dma_read_bucket(bucket)
+                if any(e["status"] == ST_DIRTY for _i, e in entries):
+                    remaining = True
+                    break
+            if not remaining:
+                break
+            yield self.env.timeout(20e-6)
+        return total
+
+    # ------------------------------------------------------------------ replacement
+    def _evict_from_bucket(self, bucket: int) -> Generator[Event, None, bool]:
+        entries = yield from self._dma_read_bucket(bucket)
+        candidates = [idx for idx, e in entries if e["status"] in (ST_CLEAN, ST_DIRTY)]
+        if not candidates:
+            return False
+        order = []
+        victim = self.policy.victim(candidates)
+        if victim is not None:
+            order.append(victim)
+        order.extend(i for i in candidates if i not in order)
+        emap = dict(entries)
+        for idx in order:
+            if emap[idx]["status"] == ST_DIRTY:
+                yield from self._flush_entry(idx)
+            # Free it: write-lock via PCIe atomic, clear status, bump free.
+            ok = yield from self.link.atomic_cas_u32(
+                self.layout.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+            )
+            if not ok:
+                continue
+            yield from self.link.dma_write(
+                self.layout.entry_addr(idx) + 4, ST_FREE.to_bytes(4, "little"), tag="evict-status"
+            )
+            yield from self.link.atomic_faa_u32(
+                self.layout.free_count_addr, 1, tag="free-count"
+            )
+            yield from self.link.atomic_cas_u32(
+                self.layout.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+            )
+            self.policy.forget(idx)
+            self._shadow.pop(idx, None)
+            self.evictions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ prefetch / fill
+    def _prefetch_one(self, inode: int, lpn: int) -> Generator[Event, None, None]:
+        """Fetch one target page; the hook may return neighbours too (the
+        backend reads at its natural block granularity).
+
+        Pages are *pre-claimed* with status INVALID ("I/O pending") before
+        the backend round trip, exactly like locked readahead pages in a
+        page cache: a reader that races the prefetch waits on the pending
+        entry instead of issuing a duplicate backend read.
+        """
+        slot = self._prefetch_slots.request()
+        yield slot
+        try:
+            idx = yield from self._claim_pending(inode, lpn)
+            if idx is None:
+                return  # bucket full or already present: skip quietly
+            claimed: list[tuple[int, int]] = [(lpn, idx)]
+            try:
+                pages = yield from self.fetch(inode, lpn)  # type: ignore[misc]
+            except Exception:
+                pages = None
+            got = dict(pages) if pages else {}
+            # DIF verification: a fetched page whose guard tag mismatches the
+            # one recorded at flush time is corrupt — refuse to install it.
+            for got_lpn in list(got):
+                if not self._dif_ok(inode, got_lpn, got[got_lpn]):
+                    del got[got_lpn]
+            # Claim slots for the extra pages the block read brought along.
+            for extra_lpn in got:
+                if extra_lpn != lpn and (inode, extra_lpn) not in self._prefetch_inflight:
+                    idx2 = yield from self._claim_pending(inode, extra_lpn)
+                    if idx2 is not None:
+                        claimed.append((extra_lpn, idx2))
+            for got_lpn, idx2 in claimed:
+                data = got.get(got_lpn)
+                if data is not None:
+                    ok = yield from self._install_pending(idx2, data)
+                    if ok:
+                        self.prefetched_pages += 1
+                        self._shadow[idx2] = (inode, got_lpn)
+                        self.policy.touch(idx2)
+                else:
+                    yield from self._release_pending(idx2)
+        finally:
+            # Sync-only cleanup (no yields: the simulation may be tearing
+            # this process down via GeneratorExit).
+            self._prefetch_slots.release(slot)
+            self._prefetch_inflight.discard((inode, lpn))
+
+    def _claim_pending(self, inode: int, lpn: int) -> Generator[Event, None, Optional[int]]:
+        """Grab a free entry in the key's bucket, mark it I/O-pending.
+
+        A full bucket evicts a victim first (readahead pressure reclaims
+        cold pages, exactly like page-cache readahead).
+        """
+        lay = self.layout
+        bucket = lay.bucket_of(inode, lpn)
+        entries = yield from self._dma_read_bucket(bucket)
+        for _idx, e in entries:
+            if e["status"] in (ST_CLEAN, ST_DIRTY, ST_INVALID) and (
+                e["inode"], e["lpn"]
+            ) == (inode, lpn):
+                return None  # already cached or pending
+        if not any(e["status"] == ST_FREE for _i, e in entries):
+            evicted = yield from self._evict_from_bucket(bucket)
+            if not evicted:
+                return None
+            entries = yield from self._dma_read_bucket(bucket)
+        for idx, e in entries:
+            if e["status"] != ST_FREE or e["lock"] != LOCK_FREE:
+                continue
+            ok = yield from self.link.atomic_cas_u32(
+                lay.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+            )
+            if not ok:
+                continue
+            ent = yield from self._dma_read_entry(idx)
+            if ent["status"] != ST_FREE:
+                yield from self.link.atomic_cas_u32(
+                    lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+                )
+                continue
+            meta = _ENTRY.pack(LOCK_WRITE, ST_INVALID, ent["next"], 0, lpn, inode)
+            yield from self.link.dma_write(lay.entry_addr(idx), meta, tag="claim-meta")
+            yield from self.link.atomic_faa_u32(
+                lay.free_count_addr, 0xFFFFFFFF, tag="free-count"
+            )
+            yield from self.link.atomic_cas_u32(
+                lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+            )
+            return idx
+        return None
+
+    def _install_pending(self, idx: int, data: bytes) -> Generator[Event, None, bool]:
+        """Write the fetched page into a pending entry and mark it clean."""
+        lay = self.layout
+        ok = yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+        )
+        if not ok:
+            return False
+        ent = yield from self._dma_read_entry(idx)
+        if ent["status"] != ST_INVALID:
+            # A racing writer already dirtied this page; keep its data.
+            yield from self.link.atomic_cas_u32(
+                lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+            )
+            return False
+        page = data.ljust(lay.page_size, b"\0")[: lay.page_size]
+        yield from self.link.dma_write(lay.page_addr(idx), page, tag="fill-data")
+        yield from self.link.dma_write(
+            lay.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="fill-status"
+        )
+        yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+        )
+        return True
+
+    def _release_pending(self, idx: int) -> Generator[Event, None, None]:
+        """Abandon a pending claim (EOF or failed fetch)."""
+        lay = self.layout
+        ok = yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+        )
+        if not ok:
+            return
+        ent = yield from self._dma_read_entry(idx)
+        if ent["status"] == ST_INVALID:
+            yield from self.link.dma_write(
+                lay.entry_addr(idx) + 4, ST_FREE.to_bytes(4, "little"), tag="claim-free"
+            )
+            yield from self.link.atomic_faa_u32(
+                lay.free_count_addr, 1, tag="free-count"
+            )
+        yield from self.link.atomic_cas_u32(
+            lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+        )
+
+    def _dif_ok(self, inode: int, lpn: int, data: bytes) -> bool:
+        """Verify a backend-fetched page against its flush-time guard tag."""
+        if not self.dif_enabled:
+            return True
+        recorded = self._dif.get((inode, lpn))
+        if recorded is None:
+            return True
+        self.dif_checks += 1
+        page = data.ljust(self.layout.page_size, b"\0")[: self.layout.page_size]
+        if zlib.crc32(page) != recorded:
+            self.dif_errors += 1
+            return False
+        return True
+
+    def dif_drop(self, inode: int, lpn: int) -> None:
+        """Forget a page's guard tag (direct writes bypass the flusher)."""
+        self._dif.pop((inode, lpn), None)
+
+    def dif_drop_file(self, inode: int) -> None:
+        """Forget every guard tag of a file (truncate/unlink)."""
+        for key in [k for k in self._dif if k[0] == inode]:
+            del self._dif[key]
+
+    def fill(self, inode: int, lpn: int, data: bytes) -> Generator[Event, None, bool]:
+        """Install a page into the host cache from the DPU side (clean)."""
+        if not self._dif_ok(inode, lpn, data):
+            return False
+        lay = self.layout
+        bucket = lay.bucket_of(inode, lpn)
+        entries = yield from self._dma_read_bucket(bucket)
+        # Already present? (raced with a demand fill)
+        for idx, e in entries:
+            if e["status"] in (ST_CLEAN, ST_DIRTY) and (e["inode"], e["lpn"]) == (inode, lpn):
+                return False
+        for idx, e in entries:
+            if e["status"] != ST_FREE or e["lock"] != LOCK_FREE:
+                continue
+            ok = yield from self.link.atomic_cas_u32(
+                lay.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+            )
+            if not ok:
+                continue
+            # Re-check status under the lock.
+            ent = yield from self._dma_read_entry(idx)
+            if ent["status"] != ST_FREE:
+                yield from self.link.atomic_cas_u32(
+                    lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+                )
+                continue
+            page = data.ljust(lay.page_size, b"\0")[: lay.page_size]
+            yield from self.link.dma_write(lay.page_addr(idx), page, tag="fill-data")
+            meta = _ENTRY.pack(LOCK_WRITE, ST_CLEAN, ent["next"], 0, lpn, inode)
+            yield from self.link.dma_write(lay.entry_addr(idx), meta, tag="fill-meta")
+            yield from self.link.atomic_faa_u32(
+                lay.free_count_addr, 0xFFFFFFFF, tag="free-count"
+            )
+            yield from self.link.atomic_cas_u32(
+                lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+            )
+            self._shadow[idx] = (inode, lpn)
+            self.policy.touch(idx)
+            return True
+        return False

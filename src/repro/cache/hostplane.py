@@ -1,0 +1,221 @@
+"""Host-side data plane of the hybrid cache.
+
+The host reads and writes cache pages *directly in its own memory* — no PCIe
+crossing on a hit, which is the design's whole point.  It only touches the
+meta area with atomic lock operations, and notifies the DPU control plane
+via fire-and-forget mailbox messages (standing in for posted nvme-fs control
+commands) about misses (feeding the prefetcher) and dirty pages (feeding the
+flusher), and with a blocking request when a bucket is full and needs
+replacement (paper §3.3 "the host notifies the DPU to perform cache
+replacement").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.cpu import CpuPool
+from ..sim.resources import Store
+from .layout import (
+    CacheLayout,
+    LOCK_READ,
+    LOCK_WRITE,
+    ST_CLEAN,
+    ST_DIRTY,
+    ST_FREE,
+)
+
+__all__ = ["HostCachePlane", "CacheStats"]
+
+#: host CPU cost of one hash + bucket walk
+_LOOKUP_COST = 0.15e-6
+#: back-off while an entry is locked by the flusher
+_LOCK_RETRY = 0.5e-6
+
+
+class CacheStats:
+    """Hit/miss counters for the experiments."""
+
+    def __init__(self) -> None:
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_inserts = 0
+        self.evict_waits = 0
+
+    def hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+
+class HostCachePlane:
+    """Front-end read/write paths executed by host threads."""
+
+    def __init__(
+        self,
+        env: Environment,
+        layout: CacheLayout,
+        host_cpu: CpuPool,
+        params: SystemParams,
+        ctrl_mailbox: Store,
+    ):
+        self.env = env
+        self.layout = layout
+        self.host_cpu = host_cpu
+        self.params = params
+        self.ctrl = ctrl_mailbox
+        self.stats = CacheStats()
+
+    # -- lookup helpers ----------------------------------------------------------
+    def _find(self, inode: int, lpn: int) -> Optional[int]:
+        """Walk the bucket chain for a live entry holding <inode, lpn>."""
+        lay = self.layout
+        for i in lay.chain(lay.bucket_of(inode, lpn)):
+            if lay.entry_status(i) in (ST_CLEAN, ST_DIRTY) and lay.entry_key(i) == (inode, lpn):
+                return i
+        return None
+
+    def _find_any(self, inode: int, lpn: int) -> Optional[int]:
+        """Like :meth:`_find` but includes I/O-pending (readahead) entries."""
+        lay = self.layout
+        from .layout import ST_INVALID
+
+        for i in lay.chain(lay.bucket_of(inode, lpn)):
+            if lay.entry_status(i) in (ST_CLEAN, ST_DIRTY, ST_INVALID) and lay.entry_key(i) == (inode, lpn):
+                return i
+        return None
+
+    def contains(self, inode: int, lpn: int) -> bool:
+        return self._find(inode, lpn) is not None
+
+    # -- front-end read (paper: "similar to the write process") ------------------
+    def read(
+        self, inode: int, lpn: int, length: Optional[int] = None
+    ) -> Generator[Event, None, Optional[bytes]]:
+        """Return the cached page, or None on a miss (caller goes to DPU)."""
+        lay = self.layout
+        from .layout import ST_INVALID
+
+        yield from self.host_cpu.execute(_LOOKUP_COST, tag="cache-host")
+        idx = self._find_any(inode, lpn)
+        if idx is not None and lay.entry_status(idx) == ST_INVALID:
+            # Readahead in flight: block on the "locked page" like a page
+            # cache does, instead of issuing a duplicate backend read.
+            for _ in range(60):
+                yield self.env.timeout(8e-6)
+                if lay.entry_key(idx) != (inode, lpn):
+                    idx = None
+                    break
+                if lay.entry_status(idx) in (ST_CLEAN, ST_DIRTY):
+                    break
+            else:
+                idx = None
+            if idx is not None and lay.entry_status(idx) == ST_INVALID:
+                idx = None
+        if idx is None or lay.entry_status(idx) == ST_FREE:
+            self.stats.read_misses += 1
+            # Feed the prefetcher; fire-and-forget.
+            self.ctrl.put(("miss", inode, lpn))
+            return None
+        # Acquire the read lock; the flusher may hold it briefly.
+        while not lay.try_lock(idx, LOCK_READ):
+            yield self.env.timeout(_LOCK_RETRY)
+            if lay.entry_status(idx) == ST_FREE or lay.entry_key(idx) != (inode, lpn):
+                # Evicted while we waited.
+                self.stats.read_misses += 1
+                self.ctrl.put(("miss", inode, lpn))
+                return None
+        try:
+            data = lay.read_page(idx, length)
+        finally:
+            lay.unlock(idx, LOCK_READ)
+        yield from self.host_cpu.execute(self.params.host_copy_per_4k, tag="cache-host")
+        self.stats.read_hits += 1
+        self.ctrl.put(("touch", inode, lpn, idx))
+        return data
+
+    # -- front-end write (paper §3.3 Data Consistency) ---------------------------
+    def write(self, inode: int, lpn: int, data: bytes) -> Generator[Event, None, None]:
+        """Buffered write: land the page in the cache and mark it dirty."""
+        lay = self.layout
+        if len(data) > lay.page_size:
+            raise ValueError("write exceeds cache page size")
+        while True:
+            yield from self.host_cpu.execute(_LOOKUP_COST, tag="cache-host")
+            idx = self._find_any(inode, lpn)
+            if idx is not None:
+                # Update in place under the write lock (a pending readahead
+                # entry is simply overwritten and dirtied; the prefetch
+                # install notices and keeps our data).
+                if not lay.try_lock(idx, LOCK_WRITE):
+                    yield self.env.timeout(_LOCK_RETRY)
+                    continue
+                if lay.entry_key(idx) != (inode, lpn) or lay.entry_status(idx) == ST_FREE:
+                    lay.unlock(idx, LOCK_WRITE)
+                    continue
+                lay.write_page(idx, data)
+                was_dirty = lay.entry_status(idx) == ST_DIRTY
+                lay.set_entry_status(idx, ST_DIRTY)
+                lay.unlock(idx, LOCK_WRITE)
+                yield from self.host_cpu.execute(
+                    self.params.host_copy_per_4k, tag="cache-host"
+                )
+                self.stats.write_hits += 1
+                if not was_dirty:
+                    self.ctrl.put(("dirty", lay.bucket_of(inode, lpn)))
+                self.ctrl.put(("touch", inode, lpn, idx))
+                return
+            # Claim a free entry in the bucket.
+            idx = self._claim_free(inode, lpn)
+            if idx is not None:
+                lay.write_page(idx, data)
+                lay.set_entry_status(idx, ST_DIRTY)
+                lay.unlock(idx, LOCK_WRITE)
+                yield from self.host_cpu.execute(
+                    self.params.host_copy_per_4k, tag="cache-host"
+                )
+                self.stats.write_inserts += 1
+                self.ctrl.put(("dirty", lay.bucket_of(inode, lpn)))
+                self.ctrl.put(("touch", inode, lpn, idx))
+                return
+            # Bucket full: ask the DPU control plane to evict, then retry.
+            self.stats.evict_waits += 1
+            reply: Store = Store(self.env)
+            self.ctrl.put(("evict", lay.bucket_of(inode, lpn), reply))
+            yield reply.get()
+
+    def _claim_free(self, inode: int, lpn: int) -> Optional[int]:
+        """Atomically claim a free entry in the key's bucket (write-locked)."""
+        lay = self.layout
+        for i in lay.chain(lay.bucket_of(inode, lpn)):
+            if lay.entry_status(i) != ST_FREE:
+                continue
+            if not lay.try_lock(i, LOCK_WRITE):
+                continue
+            if lay.entry_status(i) != ST_FREE:  # raced with another claimer
+                lay.unlock(i, LOCK_WRITE)
+                continue
+            lay.set_entry_key(i, inode, lpn)
+            lay.adjust_free(-1)
+            return i
+        return None
+
+    # -- invalidation (truncate/unlink paths) --------------------------------------
+    def invalidate(self, inode: int, lpn: int) -> Generator[Event, None, bool]:
+        """Drop a page from the cache (discarding dirty data); True if found."""
+        lay = self.layout
+        yield from self.host_cpu.execute(_LOOKUP_COST, tag="cache-host")
+        idx = self._find(inode, lpn)
+        if idx is None:
+            return False
+        while not lay.try_lock(idx, LOCK_WRITE):
+            yield self.env.timeout(_LOCK_RETRY)
+            if lay.entry_status(idx) == ST_FREE or lay.entry_key(idx) != (inode, lpn):
+                return False
+        lay.set_entry_status(idx, ST_FREE)
+        lay.adjust_free(1)
+        lay.unlock(idx, LOCK_WRITE)
+        self.ctrl.put(("forget", idx))
+        return True

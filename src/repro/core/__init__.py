@@ -1,0 +1,39 @@
+"""The DPC public API: assembled systems ready for file workloads.
+
+Quickstart::
+
+    from repro.core import build_dpc_system
+    from repro.host.vfs import O_CREAT
+
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/hello.txt", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"hello from a diskless server")
+        data = yield from sys.vfs.read(f, 0, 29)
+        return data
+
+    print(sys.run_until(app()))
+"""
+
+from .testbeds import (
+    DpcSystem,
+    Ext4System,
+    HostDfsTestbed,
+    RawTransport,
+    build_dpc_system,
+    build_ext4_system,
+    build_host_dfs_clients,
+    build_raw_transport,
+)
+
+__all__ = [
+    "DpcSystem",
+    "Ext4System",
+    "HostDfsTestbed",
+    "RawTransport",
+    "build_dpc_system",
+    "build_ext4_system",
+    "build_host_dfs_clients",
+    "build_raw_transport",
+]

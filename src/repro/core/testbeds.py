@@ -1,0 +1,331 @@
+"""Testbed builders: assemble complete simulated systems in one call.
+
+These are the public entry points a downstream user (and every experiment
+and example in this repository) starts from:
+
+* :func:`build_dpc_system` — the full DPC stack: host VFS + fs-adapter,
+  nvme-fs queues over the PCIe link, the DPU running IO_Dispatch + KVFS
+  (+ optionally the offloaded DFS client), the hybrid cache, the
+  disaggregated KV store, and optionally the whole DFS backend.
+* :func:`build_ext4_system` — the local-Ext4 baseline on the simulated SSD.
+* :func:`build_raw_transport` — nvme-fs or virtio-fs against the in-memory
+  virtual client (the Figure 6 microbenchmark rig).
+* :func:`build_host_dfs_clients` — standard + optimized host fs-clients on
+  a shared DFS backend (Figures 1 and 9 baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cache.control import CacheControlPlane
+from ..cache.hostplane import HostCachePlane
+from ..cache.layout import CacheLayout
+from ..dfs import MdsCluster, OffloadedDfsClient, StandardNfsClient, build_dfs
+from ..dpu.dispatch import IoDispatch
+from ..dpu.virtual import VirtualClient
+from ..host.adapters import Ext4Adapter
+from ..host.fsadapter import DpcAdapter, DpfsAdapter
+from ..host.vfs import Vfs
+from ..kv.client import KvClient
+from ..kv.server import KvCluster
+from ..kvfs import schema as kvfs_schema
+from ..kvfs.fs import Kvfs
+from ..localfs.ext4sim import Ext4Fs
+from ..params import SystemParams, default_params
+from ..proto.nvme.ini import NvmeFsInitiator
+from ..proto.nvme.sqe import ReqType
+from ..proto.nvme.tgt import NvmeFsTarget
+from ..proto.virtio.virtiofs import DpfsHal, VirtioFsHost
+from ..sim.core import Environment
+from ..sim.cpu import CpuPool
+from ..sim.memory import MemoryArena
+from ..sim.network import Fabric
+from ..sim.nvme_device import NvmeSsd
+from ..sim.pcie import PcieLink
+
+__all__ = [
+    "DpcSystem",
+    "Ext4System",
+    "RawTransport",
+    "HostDfsTestbed",
+    "build_dpc_system",
+    "build_ext4_system",
+    "build_raw_transport",
+    "build_host_dfs_clients",
+]
+
+
+def _host_cpu(env: Environment, p: SystemParams) -> CpuPool:
+    return CpuPool(env, p.host_cores, name="host", switch_cost=p.host_switch_cost)
+
+
+def _dpu_cpu(env: Environment, p: SystemParams) -> CpuPool:
+    return CpuPool(
+        env, p.dpu_cores, name="dpu", perf=p.dpu_perf, switch_cost=p.dpu_switch_cost
+    )
+
+
+@dataclass
+class DpcSystem:
+    """A fully wired DPC deployment."""
+
+    env: Environment
+    params: SystemParams
+    host_cpu: CpuPool
+    dpu_cpu: CpuPool
+    arena: MemoryArena
+    link: PcieLink
+    fabric: Fabric
+    kv_cluster: KvCluster
+    kvfs: Kvfs
+    ini: NvmeFsInitiator
+    tgt: NvmeFsTarget
+    dispatch: IoDispatch
+    vfs: Vfs
+    kvfs_adapter: DpcAdapter
+    cache_layout: Optional[CacheLayout] = None
+    cache_host: Optional[HostCachePlane] = None
+    cache_ctrl: Optional[CacheControlPlane] = None
+    mds: Optional[MdsCluster] = None
+    dataservers: Optional[list] = None
+    dfs_client: Optional[OffloadedDfsClient] = None
+    dfs_adapter: Optional[DpcAdapter] = None
+
+    def run_until(self, gen):
+        """Drive one simulation process to completion; return its value."""
+        return self.env.run(until=self.env.process(gen))
+
+
+def build_dpc_system(
+    params: Optional[SystemParams] = None,
+    with_dfs: bool = False,
+    with_cache: bool = True,
+    prefetch: bool = True,
+    num_queues: Optional[int] = None,
+) -> DpcSystem:
+    """Assemble the full DPC system of paper Figure 3."""
+    p = params or default_params()
+    env = Environment()
+    host_cpu = _host_cpu(env, p)
+    dpu_cpu = _dpu_cpu(env, p)
+    arena = MemoryArena(p.host_arena_bytes)
+    link = PcieLink(
+        env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth, engines=p.pcie_engines
+    )
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    # Disaggregated backends (the DPU's fabric endpoint is "dpc").
+    kv_cluster = KvCluster(env, fabric, p)
+    fabric.attach("dpc")
+    kv_client = KvClient(
+        fabric,
+        "dpc",
+        kv_cluster.shard_names(),
+        route_fn=kvfs_schema.routing_key,
+        scan_route_fn=kvfs_schema.scan_routing,
+    )
+    kvfs = Kvfs(env, kv_client, dpu_cpu, p)
+    mds = dataservers = layout = dfs_client = None
+    if with_dfs:
+        mds, dataservers, layout = build_dfs(env, fabric, p)
+        dfs_client = OffloadedDfsClient(
+            env,
+            fabric,
+            "dpc",
+            p.n_mds,
+            layout,
+            dpu_cpu,
+            p,
+            cpu_read=p.dpc_dfs_cpu_read,
+            cpu_write=p.dpc_dfs_cpu_write,
+            ec_scale=0.3,  # hardware-assisted EC on the DPU
+            cpu_tag="dpc-dfs",
+        )
+    # nvme-fs transport.
+    ini = NvmeFsInitiator(env, arena, link, host_cpu, p, num_queues=num_queues)
+    # Hybrid cache.
+    cache_layout = cache_host = cache_ctrl = None
+    dispatch = IoDispatch(env, dpu_cpu, p, kvfs=kvfs, dfs_client=dfs_client)
+    if with_cache:
+        from ..sim.resources import Store
+
+        cache_layout = CacheLayout(
+            arena, p.cache_pages, p.cache_page_size, p.cache_buckets
+        )
+        mailbox = Store(env)
+        cache_host = HostCachePlane(env, cache_layout, host_cpu, p, mailbox)
+        cache_ctrl = CacheControlPlane(
+            env,
+            link,
+            dpu_cpu,
+            p,
+            cache_layout,
+            mailbox,
+            writeback=dispatch.cache_writeback,
+            fetch=dispatch.cache_fetch,
+            prefetch_enabled=prefetch,
+        )
+        dispatch.cache_ctrl = cache_ctrl
+    tgt = NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, dispatch.backend)
+    # Host VFS with the fs-adapter mounts.
+    vfs = Vfs(env, host_cpu, p)
+    kvfs_adapter = DpcAdapter(
+        env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.STANDALONE
+    )
+    vfs.mount("/kvfs", kvfs_adapter)
+    dfs_adapter = None
+    if with_dfs:
+        dfs_adapter = DpcAdapter(
+            env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.DISTRIBUTED
+        )
+        vfs.mount("/dfs", dfs_adapter)
+    return DpcSystem(
+        env=env,
+        params=p,
+        host_cpu=host_cpu,
+        dpu_cpu=dpu_cpu,
+        arena=arena,
+        link=link,
+        fabric=fabric,
+        kv_cluster=kv_cluster,
+        kvfs=kvfs,
+        ini=ini,
+        tgt=tgt,
+        dispatch=dispatch,
+        vfs=vfs,
+        kvfs_adapter=kvfs_adapter,
+        cache_layout=cache_layout,
+        cache_host=cache_host,
+        cache_ctrl=cache_ctrl,
+        mds=mds,
+        dataservers=dataservers,
+        dfs_client=dfs_client,
+        dfs_adapter=dfs_adapter,
+    )
+
+
+@dataclass
+class Ext4System:
+    """The local-Ext4 baseline."""
+
+    env: Environment
+    params: SystemParams
+    host_cpu: CpuPool
+    ssd: NvmeSsd
+    fs: Ext4Fs
+    vfs: Vfs
+    adapter: Ext4Adapter
+
+    def run_until(self, gen):
+        return self.env.run(until=self.env.process(gen))
+
+
+def build_ext4_system(
+    params: Optional[SystemParams] = None,
+    cache_pages: int = 16384,
+    capacity_blocks: int = 1 << 22,
+) -> Ext4System:
+    p = params or default_params()
+    env = Environment()
+    host_cpu = _host_cpu(env, p)
+    ssd = NvmeSsd(
+        env,
+        read_latency=p.ssd_read_latency,
+        write_latency=p.ssd_write_latency,
+        channels=p.ssd_channels,
+        bandwidth=p.ssd_bandwidth,
+        max_iops=p.ssd_max_iops,
+        capacity_blocks=capacity_blocks,
+    )
+    fs = Ext4Fs(env, ssd, host_cpu, p, cache_pages=cache_pages)
+    vfs = Vfs(env, host_cpu, p)
+    adapter = Ext4Adapter(fs)
+    vfs.mount("/mnt", adapter)
+    return Ext4System(env, p, host_cpu, ssd, fs, vfs, adapter)
+
+
+@dataclass
+class RawTransport:
+    """A host<->DPU transport with the in-memory virtual client behind it."""
+
+    env: Environment
+    params: SystemParams
+    host_cpu: CpuPool
+    dpu_cpu: CpuPool
+    link: PcieLink
+    virtual: VirtualClient
+    adapter: object  # DpcAdapter or DpfsAdapter (no cache)
+    kind: str
+
+    def run_until(self, gen):
+        return self.env.run(until=self.env.process(gen))
+
+
+def build_raw_transport(
+    kind: str = "nvme-fs",
+    params: Optional[SystemParams] = None,
+    num_queues: Optional[int] = None,
+) -> RawTransport:
+    """The §4.1 rig: transport + virtual client, nothing else."""
+    p = params or default_params()
+    env = Environment()
+    host_cpu = _host_cpu(env, p)
+    dpu_cpu = _dpu_cpu(env, p)
+    arena = MemoryArena(p.host_arena_bytes)
+    link = PcieLink(
+        env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth, engines=p.pcie_engines
+    )
+    virtual = VirtualClient(env, dpu_cpu, p)
+    if kind == "nvme-fs":
+        ini = NvmeFsInitiator(env, arena, link, host_cpu, p, num_queues=num_queues)
+        NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, virtual.backend)
+        adapter = DpcAdapter(env, ini, host_cpu, p, cache=None)
+    elif kind == "virtio-fs":
+        virtio = VirtioFsHost(env, arena, link, host_cpu, p, num_queues=num_queues)
+        DpfsHal(env, link, dpu_cpu, p, virtio.rings, virtual.backend)
+        adapter = DpfsAdapter(env, virtio, host_cpu, p)
+    else:
+        raise ValueError(f"unknown transport kind {kind!r}")
+    return RawTransport(env, p, host_cpu, dpu_cpu, link, virtual, adapter, kind)
+
+
+@dataclass
+class HostDfsTestbed:
+    """Shared DFS backend + standard and optimized host clients."""
+
+    env: Environment
+    params: SystemParams
+    host_cpu: CpuPool
+    fabric: Fabric
+    mds: MdsCluster
+    dataservers: list
+    layout: object
+    std_client: StandardNfsClient
+    opt_client: OffloadedDfsClient
+
+    def run_until(self, gen):
+        return self.env.run(until=self.env.process(gen))
+
+
+def build_host_dfs_clients(params: Optional[SystemParams] = None) -> HostDfsTestbed:
+    p = params or default_params()
+    env = Environment()
+    host_cpu = _host_cpu(env, p)
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    mds, dataservers, layout = build_dfs(env, fabric, p)
+    fabric.attach("std-client")
+    fabric.attach("opt-client")
+    std = StandardNfsClient(env, fabric, "std-client", p.n_mds, host_cpu, p)
+    opt = OffloadedDfsClient(
+        env,
+        fabric,
+        "opt-client",
+        p.n_mds,
+        layout,
+        host_cpu,
+        p,
+        cpu_read=p.opt_client_cpu_read,
+        cpu_write=p.opt_client_cpu_write,
+    )
+    return HostDfsTestbed(env, p, host_cpu, fabric, mds, dataservers, layout, std, opt)

@@ -1,0 +1,42 @@
+"""The distributed file system: MDS cluster, EC data servers, three clients.
+
+Provides :func:`build_dfs` to assemble a whole backend on a fabric, plus the
+client classes the Figure 1 / Figure 9 experiments compare.
+"""
+
+from __future__ import annotations
+
+from ..ec import ReedSolomon, StripeLayout
+from ..params import SystemParams
+from ..sim.core import Environment
+from ..sim.network import Fabric
+from .clients import DfsError, OffloadedDfsClient, StandardNfsClient
+from .dataserver import DataServer, ds_name
+from .mds import DFS_ROOT_INO, MdsCluster, MdsServer, mds_name
+from .stripeio import StorageUnavailable, StripeIO
+
+__all__ = [
+    "DfsError",
+    "OffloadedDfsClient",
+    "StandardNfsClient",
+    "DataServer",
+    "ds_name",
+    "DFS_ROOT_INO",
+    "MdsCluster",
+    "MdsServer",
+    "mds_name",
+    "StorageUnavailable",
+    "StripeIO",
+    "build_dfs",
+]
+
+
+def build_dfs(
+    env: Environment, fabric: Fabric, params: SystemParams
+) -> tuple[MdsCluster, list[DataServer], StripeLayout]:
+    """Stand up the DFS backend: data servers, MDS cluster, EC layout."""
+    rs = ReedSolomon(params.ec_k, params.ec_m)
+    layout = StripeLayout(rs, params.dfs_stripe_unit, params.n_dataservers)
+    dataservers = [DataServer(env, fabric, i, params) for i in range(params.n_dataservers)]
+    mds = MdsCluster(env, fabric, layout, params)
+    return mds, dataservers, layout

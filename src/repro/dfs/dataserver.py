@@ -1,0 +1,107 @@
+"""DFS data servers: stripe-unit object stores on the fabric.
+
+Each server stores erasure-coded stripe units by key and serves
+read/write/batch operations with a thread pool and service-time model.
+Clients (or the MDS, for the standard-NFS path) address units using the
+:class:`repro.ec.StripeLayout` placement.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.network import Fabric, Message
+from ..sim.resources import Resource
+
+__all__ = ["DataServer", "ds_name"]
+
+MSG_OVERHEAD = 64
+
+
+def ds_name(index: int) -> str:
+    return f"ds{index}"
+
+
+class DataServer:
+    """One data server: unit store + thread pool."""
+
+    def __init__(self, env: Environment, fabric: Fabric, index: int, params: SystemParams):
+        self.env = env
+        self.fabric = fabric
+        self.index = index
+        self.name = ds_name(index)
+        self.params = params
+        self.endpoint = fabric.attach(self.name, params.ds_bandwidth)
+        self.threads = Resource(env, params.ds_threads)
+        self.units: dict[str, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+        #: failure injection: a failed server answers every request with an
+        #: error (clients fall back to degraded EC reads)
+        self.failed = False
+        env.process(self._serve(), name=self.name)
+
+    def fail(self) -> None:
+        """Inject a crash: all subsequent requests error out."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def _serve(self) -> Generator[Event, None, None]:
+        while True:
+            msg = yield self.endpoint.inbox.get()
+            self.env.process(self._handle(msg), name=f"{self.name}-req")
+
+    def _handle(self, msg: Message) -> Generator[Event, None, None]:
+        if self.failed:
+            yield from self.fabric.reply(msg, ("err", "EHOSTDOWN"), MSG_OVERHEAD)
+            return
+        req = self.threads.request()
+        yield req
+        try:
+            resp, size = yield from self._execute(msg.payload)
+        finally:
+            self.threads.release(req)
+        yield from self.fabric.reply(msg, resp, size)
+
+    def _execute(self, op: tuple) -> Generator[Event, None, tuple]:
+        p = self.params
+        kind = op[0]
+        if kind == "read_unit":
+            _, key = op
+            yield self.env.timeout(p.ds_read_service)
+            data = self.units.get(key)
+            self.reads += 1
+            return data, MSG_OVERHEAD + (len(data) if data else 0)
+        if kind == "write_unit":
+            _, key, data = op
+            yield self.env.timeout(p.ds_write_service)
+            self.units[key] = data
+            self.writes += 1
+            return "ok", MSG_OVERHEAD
+        if kind == "write_units":
+            _, items = op
+            yield self.env.timeout(
+                p.ds_write_service + 4e-6 * max(0, len(items) - 1)
+            )
+            for key, data in items:
+                self.units[key] = data
+            self.writes += len(items)
+            return "ok", MSG_OVERHEAD
+        if kind == "read_units":
+            _, keys = op
+            yield self.env.timeout(p.ds_read_service + 4e-6 * max(0, len(keys) - 1))
+            out = [self.units.get(k) for k in keys]
+            self.reads += len(keys)
+            size = MSG_OVERHEAD + sum(len(d) for d in out if d)
+            return out, size
+        if kind == "delete_units":
+            _, keys = op
+            yield self.env.timeout(p.ds_write_service)
+            for k in keys:
+                self.units.pop(k, None)
+            return "ok", MSG_OVERHEAD
+        raise ValueError(f"unknown data-server op {kind!r}")

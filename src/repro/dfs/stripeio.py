@@ -1,0 +1,274 @@
+"""Erasure-coded stripe I/O against the data servers.
+
+Shared by everything that talks to data servers directly: the optimized
+host fs-client, the DPC-offloaded client (both doing client-side EC + DIO),
+and the MDS (server-side EC for the standard NFS path).  The caller supplies
+the endpoint to issue RPCs from and a CPU-charge hook for the EC math, so
+the *same* code path costs host cycles for the optimized client, DPU cycles
+for DPC, and MDS service time for standard NFS — exactly the paper's point.
+
+Semantics: units never written read as zeros (and the parity of an untouched
+stripe is the parity of zeros, which is zeros — so read-modify-write against
+missing units is consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..ec import ReedSolomon, StripeLayout
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.network import Fabric
+from .dataserver import MSG_OVERHEAD, ds_name
+
+__all__ = ["StripeIO", "StorageUnavailable"]
+
+#: optional generator hook charging CPU for EC over ``nbytes``
+EcCharge = Optional[Callable[[int], Generator]]
+
+
+class StorageUnavailable(RuntimeError):
+    """More shards lost than the EC geometry can tolerate."""
+
+
+class StripeIO:
+    """Direct-I/O engine for one client endpoint."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        layout: StripeLayout,
+        params: SystemParams,
+        src: str,
+        ec_charge: EcCharge = None,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.layout = layout
+        self.params = params
+        self.src = src
+        self.ec_charge = ec_charge
+        self.units_read = 0
+        self.units_written = 0
+
+    # -- plumbing --------------------------------------------------------------
+    def _parallel(self, gens: list) -> Generator[Event, None, list]:
+        procs = [self.env.process(g) for g in gens]
+        if not procs:
+            return []
+        results = yield self.env.all_of(procs)
+        return [results[p] for p in procs]
+
+    @staticmethod
+    def _is_err(resp) -> bool:
+        return isinstance(resp, tuple) and len(resp) == 2 and resp[0] == "err"
+
+    def _read_unit(self, server: int, key: str) -> Generator[Event, None, bytes]:
+        data = yield from self.fabric.rpc(
+            self.src, ds_name(server), ("read_unit", key), MSG_OVERHEAD
+        )
+        if self._is_err(data):
+            raise StorageUnavailable(f"ds{server}: {data[1]}")
+        self.units_read += 1
+        return data if data is not None else bytes(self.layout.stripe_unit)
+
+    def _read_unit_safe(
+        self, server: int, key: str
+    ) -> Generator[Event, None, tuple[bool, object]]:
+        """(True, data) on success; (False, server) if the server is down."""
+        data = yield from self.fabric.rpc(
+            self.src, ds_name(server), ("read_unit", key), MSG_OVERHEAD
+        )
+        if self._is_err(data):
+            return False, server
+        self.units_read += 1
+        return True, data if data is not None else bytes(self.layout.stripe_unit)
+
+    def _write_unit(self, server: int, key: str, data: bytes) -> Generator[Event, None, None]:
+        resp = yield from self.fabric.rpc(
+            self.src, ds_name(server), ("write_unit", key, data), MSG_OVERHEAD + len(data)
+        )
+        if self._is_err(resp):
+            raise StorageUnavailable(f"ds{server}: {resp[1]}")
+        self.units_written += 1
+
+    def _write_unit_safe(
+        self, server: int, key: str, data: bytes
+    ) -> Generator[Event, None, bool]:
+        resp = yield from self.fabric.rpc(
+            self.src, ds_name(server), ("write_unit", key, data), MSG_OVERHEAD + len(data)
+        )
+        if self._is_err(resp):
+            return False
+        self.units_written += 1
+        return True
+
+    def _charge_ec(self, nbytes: int) -> Generator[Event, None, None]:
+        if self.ec_charge is not None:
+            yield from self.ec_charge(nbytes)
+
+    # -- reads -------------------------------------------------------------------
+    def read(self, file_id: int, offset: int, length: int) -> Generator[Event, None, bytes]:
+        """Systematic read: fetch only the data units the range touches.
+
+        A unit whose server is down is reconstructed from the surviving
+        shards of its stripe (degraded read) — transparent to the caller as
+        long as no stripe lost more than ``m`` shards.
+        """
+        if length <= 0:
+            return b""
+        lay = self.layout
+        unit = lay.stripe_unit
+        gens = []
+        spans: list[tuple[int, int, int, int]] = []  # (stripe, shard, lo, hi)
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe = lay.stripe_of(pos)
+            in_stripe = pos - stripe * lay.stripe_size
+            shard_idx = in_stripe // unit
+            u_file_off = stripe * lay.stripe_size + shard_idx * unit
+            lo = pos - u_file_off
+            hi = min(end - u_file_off, unit)
+            loc = lay.placement(file_id, stripe).shards[shard_idx]
+            gens.append(self._read_unit_safe(loc.server, loc.key))
+            spans.append((stripe, shard_idx, lo, hi))
+            pos = u_file_off + hi
+        results = yield from self._parallel(gens)
+        # Degraded fallback for any unit whose server answered EHOSTDOWN.
+        out: list[bytes] = []
+        degraded_cache: dict[int, bytes] = {}
+        for (ok, payload), (stripe, shard_idx, lo, hi) in zip(results, spans):
+            if ok:
+                out.append(payload[lo:hi])
+                continue
+            if stripe not in degraded_cache:
+                degraded_cache[stripe] = yield from self.read_degraded(
+                    file_id, stripe, {payload}
+                )
+            base = shard_idx * unit
+            out.append(degraded_cache[stripe][base + lo : base + hi])
+        return b"".join(out)
+
+    def read_degraded(
+        self, file_id: int, stripe: int, dead_servers: set[int]
+    ) -> Generator[Event, None, bytes]:
+        """Reconstruct a whole stripe's payload despite dead servers.
+
+        Servers that turn out to be down mid-read are tolerated too; raises
+        :class:`StorageUnavailable` once fewer than ``k`` shards survive.
+        """
+        lay = self.layout
+        pl = lay.placement(file_id, stripe)
+        gens, slots = [], []
+        for loc in pl.shards:
+            if loc.server not in dead_servers:
+                gens.append(self._read_unit_safe(loc.server, loc.key))
+                slots.append(loc.shard_index)
+        results = yield from self._parallel(gens)
+        shards: list[Optional[bytes]] = [None] * (lay.rs.k + lay.rs.m)
+        alive = 0
+        for idx, (ok, payload) in zip(slots, results):
+            if ok:
+                shards[idx] = payload
+                alive += 1
+        if alive < lay.rs.k:
+            raise StorageUnavailable(
+                f"stripe {stripe}: only {alive} of {lay.rs.k} required shards reachable"
+            )
+        yield from self._charge_ec(lay.stripe_size)
+        return lay.decode_stripe(shards)
+
+    # -- writes --------------------------------------------------------------------
+    def write(self, file_id: int, offset: int, data: bytes) -> Generator[Event, None, None]:
+        """EC write: full-stripe encode, or parity RMW for partial stripes."""
+        if not data:
+            return
+        lay = self.layout
+        pos = offset
+        end = offset + len(data)
+        while pos < end:
+            stripe = lay.stripe_of(pos)
+            s_start = stripe * lay.stripe_size
+            s_end = s_start + lay.stripe_size
+            lo = pos
+            hi = min(end, s_end)
+            chunk = data[lo - offset : hi - offset]
+            if lo == s_start and hi == s_end:
+                yield from self._write_full_stripe(file_id, stripe, chunk)
+            else:
+                yield from self._write_partial_stripe(file_id, stripe, lo - s_start, chunk)
+            pos = hi
+
+    def _write_full_stripe(
+        self, file_id: int, stripe: int, payload: bytes
+    ) -> Generator[Event, None, None]:
+        lay = self.layout
+        yield from self._charge_ec(len(payload))
+        units = lay.encode_stripe(payload)
+        pl = lay.placement(file_id, stripe)
+        gens = [
+            self._write_unit_safe(loc.server, loc.key, units[loc.shard_index])
+            for loc in pl.shards
+        ]
+        results = yield from self._parallel(gens)
+        failures = sum(1 for ok in results if not ok)
+        if failures > lay.rs.m:
+            raise StorageUnavailable(
+                f"stripe {stripe}: {failures} shard writes failed (tolerates {lay.rs.m})"
+            )
+
+    def _write_partial_stripe(
+        self, file_id: int, stripe: int, offset_in_stripe: int, chunk: bytes
+    ) -> Generator[Event, None, None]:
+        lay = self.layout
+        rs: ReedSolomon = lay.rs
+        unit = lay.stripe_unit
+        pl = lay.placement(file_id, stripe)
+        first_u = offset_in_stripe // unit
+        last_u = (offset_in_stripe + len(chunk) - 1) // unit
+        touched = list(range(first_u, last_u + 1))
+        # Read old data units + old parities in parallel.
+        gens = [
+            self._read_unit_safe(pl.shards[u].server, pl.shards[u].key) for u in touched
+        ]
+        gens += [
+            self._read_unit_safe(pl.shards[rs.k + j].server, pl.shards[rs.k + j].key)
+            for j in range(rs.m)
+        ]
+        old = yield from self._parallel(gens)
+        if any(not ok for ok, _ in old):
+            # Degraded RMW: rebuild the whole stripe from survivors, apply
+            # the modification, and rewrite it full-stripe (writes to the
+            # dead server are dropped; parity keeps the stripe recoverable).
+            dead = {payload for ok, payload in old if not ok}
+            whole = bytearray((yield from self.read_degraded(file_id, stripe, dead)))
+            whole[offset_in_stripe : offset_in_stripe + len(chunk)] = chunk
+            yield from self._write_full_stripe(file_id, stripe, bytes(whole))
+            return
+        old_units = [payload for _ok, payload in old[: len(touched)]]
+        parities = [payload for _ok, payload in old[len(touched) :]]
+        # Compose the new units and fold each delta into the parities.
+        yield from self._charge_ec(len(chunk) * (1 + rs.m))
+        new_units = []
+        for u, old_u in zip(touched, old_units):
+            u_start = u * unit
+            lo = max(offset_in_stripe, u_start)
+            hi = min(offset_in_stripe + len(chunk), u_start + unit)
+            buf = bytearray(old_u)
+            buf[lo - u_start : hi - u_start] = chunk[lo - offset_in_stripe : hi - offset_in_stripe]
+            new_u = bytes(buf)
+            parities = rs.update_parity(u, old_u, new_u, parities)
+            new_units.append(new_u)
+        # Write new data units + parities in parallel.
+        gens = [
+            self._write_unit(pl.shards[u].server, pl.shards[u].key, nu)
+            for u, nu in zip(touched, new_units)
+        ]
+        gens += [
+            self._write_unit(pl.shards[rs.k + j].server, pl.shards[rs.k + j].key, parities[j])
+            for j in range(rs.m)
+        ]
+        yield from self._parallel(gens)

@@ -1,0 +1,6 @@
+"""DPU-side components: IO_Dispatch, the virtual client, and stacks glue."""
+
+from .dispatch import IoDispatch
+from .virtual import VirtualClient
+
+__all__ = ["IoDispatch", "VirtualClient"]

@@ -1,0 +1,54 @@
+"""The 'virtual client': a DPU-memory-backed request responder.
+
+Paper §4.1: "To test the raw transmission performance, we implement a
+virtual client in DPU that responds to the requests from I/O dispatch with
+in-memory data."  Both Figure 6 transports (nvme-fs and virtio-fs) are
+measured against this backend, so what's compared is purely the host-DPU
+round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..params import SystemParams
+from ..proto.filemsg import Errno, FileAttr, FileOp, FileRequest, FileResponse
+from ..sim.core import Environment, Event
+from ..sim.cpu import CpuPool
+
+__all__ = ["VirtualClient"]
+
+
+class VirtualClient:
+    """Answers READ/WRITE/STAT from DPU DRAM with a small service cost."""
+
+    def __init__(
+        self,
+        env: Environment,
+        dpu_cpu: CpuPool,
+        params: SystemParams,
+        service_cost: float = 0.4e-6,
+    ):
+        self.env = env
+        self.dpu_cpu = dpu_cpu
+        self.params = params
+        self.service_cost = service_cost
+        self.store: dict[tuple[int, int], bytes] = {}
+        self.requests = 0
+
+    def backend(
+        self, _sqe, request: FileRequest, payload: bytes
+    ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
+        self.requests += 1
+        yield from self.dpu_cpu.execute(self.service_cost, tag="virtual-client")
+        if request.op == FileOp.WRITE:
+            self.store[(request.ino, request.offset)] = payload
+            return FileResponse(size=len(payload)), b""
+        if request.op == FileOp.READ:
+            data = self.store.get((request.ino, request.offset))
+            if data is None or len(data) != request.length:
+                data = b"\xab" * request.length
+            return FileResponse(size=len(data)), data
+        if request.op == FileOp.STAT:
+            return FileResponse(attr=FileAttr(ino=request.ino, size=1 << 30)), b""
+        return FileResponse(status=Errno.EINVAL), b""

@@ -1,0 +1,19 @@
+"""Erasure coding: GF(2^8) arithmetic, Reed-Solomon codes, stripe layouts.
+
+The paper's fs-client computes erasure codes on the client ("client-side EC
+calculation") and DPC moves that computation onto the DPU.  This package is
+the real math both of them run.
+"""
+
+from . import gf256
+from .reedsolomon import ECError, ReedSolomon
+from .striping import ShardLoc, StripeLayout, StripePlacement
+
+__all__ = [
+    "gf256",
+    "ECError",
+    "ReedSolomon",
+    "ShardLoc",
+    "StripeLayout",
+    "StripePlacement",
+]

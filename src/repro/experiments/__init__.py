@@ -1,0 +1,1 @@
+"""Experiment harness: one module per paper figure/table (see DESIGN.md §3)."""

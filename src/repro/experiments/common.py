@@ -1,0 +1,58 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..sim.core import Environment
+from ..sim.cpu import CpuPool
+
+__all__ = ["measure_threads", "ThreadsResult"]
+
+
+class ThreadsResult:
+    """Outcome of a closed-loop N-thread run."""
+
+    def __init__(self, total_ops: int, elapsed: float, latencies: list[float]):
+        self.total_ops = total_ops
+        self.elapsed = elapsed
+        self.latencies = latencies
+
+    @property
+    def iops(self) -> float:
+        return self.total_ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def mean_lat(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+def measure_threads(
+    env: Environment,
+    nthreads: int,
+    ops_per_thread: int,
+    op_factory: Callable[[int, int], Generator],
+    host_cpu: Optional[CpuPool] = None,
+    dpu_cpu: Optional[CpuPool] = None,
+) -> ThreadsResult:
+    """Run ``op_factory(tid, op_index)`` in a closed loop on N threads.
+
+    Begins CPU measurement windows at the start so ``window_cores_used()``
+    on the pools reflects this run.
+    """
+    latencies: list[float] = []
+    start = env.now
+
+    def thread(tid: int):
+        for j in range(ops_per_thread):
+            t0 = env.now
+            yield from op_factory(tid, j)
+            latencies.append(env.now - t0)
+
+    if host_cpu is not None:
+        host_cpu.begin_window()
+    if dpu_cpu is not None:
+        dpu_cpu.begin_window()
+    procs = [env.process(thread(t), name=f"bench-t{t}") for t in range(nthreads)]
+    env.run(until=env.all_of(procs))
+    return ThreadsResult(nthreads * ops_per_thread, env.now - start, latencies)

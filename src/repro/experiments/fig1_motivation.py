@@ -1,0 +1,85 @@
+"""Figure 1 (motivation): standard vs optimized NFS client on the host.
+
+8 KiB random read / random write / 70:30 mix at 32 threads against a shared
+EC-protected big file.  The paper's point: client-side optimizations (EC,
+direct I/O, forwarding avoidance, delegations) buy ~4x IOPS but cost 4-6x
+the CPU cores — the "datacenter tax" DPC exists to eliminate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.testbeds import build_host_dfs_clients
+from ..dfs.mds import DFS_ROOT_INO
+from ..metrics.stats import ResultTable
+from ..params import SystemParams
+from .common import measure_threads
+
+__all__ = ["run", "run_one"]
+
+BLOCK = 8192
+FILE_SIZE = 8 * 1024 * 1024
+
+
+def run_one(
+    client_kind: str,
+    mode: str,
+    nthreads: int = 32,
+    ops_per_thread: int = 25,
+    params: Optional[SystemParams] = None,
+) -> dict:
+    tb = build_host_dfs_clients(params)
+    client = tb.std_client if client_kind == "std" else tb.opt_client
+
+    def prep():
+        attr = yield from tb.opt_client.create(DFS_ROOT_INO, b"bigfile")
+        blob = b"\x11" * (1 << 20)
+        for off in range(0, FILE_SIZE, 1 << 20):
+            yield from tb.opt_client.write(attr.ino, 0 + off, blob)
+        yield from tb.opt_client.flush_metadata()
+        return attr.ino
+
+    ino = tb.run_until(prep())
+    block = b"\x5a" * BLOCK
+
+    def op(tid, j):
+        rng = (tid * 7919 + j * 104729) & 0xFFFFFFFF
+        off = (rng % (FILE_SIZE // BLOCK)) * BLOCK
+        is_read = {"randread": True, "randwrite": False}.get(
+            mode, (rng % 100) < 70
+        )
+        if is_read:
+            yield from client.read(ino, off, BLOCK)
+        else:
+            yield from client.write(ino, off, block)
+
+    res = measure_threads(tb.env, nthreads, ops_per_thread, op, host_cpu=tb.host_cpu)
+    return {"iops": res.iops, "cores": tb.host_cpu.window_cores_used()}
+
+
+def run(
+    params: Optional[SystemParams] = None,
+    nthreads: int = 32,
+    ops_per_thread: int = 25,
+    scaled: bool = True,
+) -> ResultTable:
+    table = ResultTable(
+        "Figure 1: standard vs optimized NFS client (8K, 32 threads)",
+        ["workload", "client", "iops", "cpu_cores", "iops_ratio", "cpu_ratio"],
+    )
+    for mode in ("randread", "randwrite", "randrw"):
+        std = run_one("std", mode, nthreads, ops_per_thread, params)
+        opt = run_one("opt", mode, nthreads, ops_per_thread, params)
+        table.add_row(mode, "standard", std["iops"], std["cores"], 1.0, 1.0)
+        table.add_row(
+            mode,
+            "optimized",
+            opt["iops"],
+            opt["cores"],
+            opt["iops"] / std["iops"],
+            opt["cores"] / max(std["cores"], 1e-9),
+        )
+    table.note("paper: ~4x IOPS for ~4-6x CPU cores (mix = 70% read / 30% write)")
+    return table

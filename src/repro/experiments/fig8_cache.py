@@ -1,0 +1,112 @@
+"""Figure 8: contribution of the hybrid cache to random/sequential IOPS.
+
+Two panels, per the paper's §4.2 discussion:
+
+* **random writes** (8 KiB): direct vs buffered for both local Ext4 (its
+  page cache) and KVFS (the hybrid cache, control plane on the DPU);
+* **sequential reads**: KVFS with the DPU-driven prefetcher on vs off —
+  the paper reports ~100x single-thread and ~3x 32-thread read-IOPS boosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.testbeds import build_dpc_system, build_ext4_system
+from ..host.adapters import O_DIRECT
+from ..host.vfs import O_CREAT
+from ..metrics.stats import ResultTable
+from ..params import SystemParams
+from .common import measure_threads
+
+__all__ = ["random_write_panel", "seq_read_prefetch_panel", "run"]
+
+BLOCK = 8192
+FILE_SIZE = 8 * 1024 * 1024
+
+
+def _prep(sys, path: str, flags: int, size: int = FILE_SIZE):
+    def prep():
+        f = yield from sys.vfs.open(path, O_CREAT | O_DIRECT)
+        blob = b"\x33" * (1 << 20)
+        for off in range(0, size, 1 << 20):
+            yield from sys.vfs.write(f, off, blob)
+        f2 = yield from sys.vfs.open(path, flags)
+        return f2
+
+    return sys.run_until(prep())
+
+
+def _rand_off(tid: int, j: int, span: int) -> int:
+    h = (tid * 0x9E3779B1 + j * 0x85EBCA77) & 0xFFFFFFFF
+    return (h % (span // BLOCK)) * BLOCK
+
+
+def random_write_panel(
+    params: Optional[SystemParams] = None,
+    nthreads: int = 32,
+    ops_per_thread: int = 30,
+) -> ResultTable:
+    table = ResultTable(
+        "Figure 8 (writes): random 8K write IOPS, direct vs buffered",
+        ["fs", "mode", "threads", "iops"],
+    )
+    for fs in ("ext4", "kvfs"):
+        for mode in ("direct", "buffered"):
+            if fs == "ext4":
+                sys = build_ext4_system(params)
+                path = "/mnt/f"
+            else:
+                sys = build_dpc_system(params)
+                path = "/kvfs/f"
+            flags = O_DIRECT if mode == "direct" else 0
+            handle = _prep(sys, path, flags)
+            block = b"\x5a" * BLOCK
+
+            def op(tid, j, _h=handle, _s=sys):
+                yield from _s.vfs.write(_h, _rand_off(tid, j, FILE_SIZE), block)
+
+            res = measure_threads(sys.env, nthreads, ops_per_thread, op)
+            table.add_row(fs, mode, nthreads, res.iops)
+    table.note("buffered absorbs into host memory; flushers write back behind")
+    return table
+
+
+def seq_read_prefetch_panel(
+    params: Optional[SystemParams] = None,
+    thread_counts=(1, 32),
+    ops_per_thread: int = 60,
+) -> ResultTable:
+    """KVFS sequential reads with the prefetcher on vs off."""
+    table = ResultTable(
+        "Figure 8 (reads): KVFS sequential 8K read IOPS, prefetch on/off",
+        ["threads", "mode", "iops", "boost"],
+    )
+    for n in thread_counts:
+        iops = {}
+        for mode in ("direct", "prefetch"):
+            sys = build_dpc_system(params, prefetch=(mode == "prefetch"))
+            flags = O_DIRECT if mode == "direct" else 0
+            # Per-thread files so each thread owns a clean stream.
+            handles = {}
+            for t in range(n):
+                handles[t] = _prep(sys, f"/kvfs/s{t}", flags, size=2 * 1024 * 1024)
+
+            def op(tid, j, _hs=handles, _s=sys):
+                off = (j * BLOCK) % (2 * 1024 * 1024)
+                yield from _s.vfs.read(_hs[tid], off, BLOCK)
+
+            res = measure_threads(sys.env, n, ops_per_thread, op)
+            iops[mode] = res.iops
+        table.add_row(n, "direct", iops["direct"], 1.0)
+        table.add_row(n, "prefetch", iops["prefetch"], iops["prefetch"] / iops["direct"])
+    table.note("paper: ~100x boost at 1 thread, ~3x at 32 threads")
+    return table
+
+
+def run(params: Optional[SystemParams] = None, scaled: bool = True):
+    ops = 25 if scaled else 50
+    return [
+        random_write_panel(params, ops_per_thread=ops),
+        seq_read_prefetch_panel(params, ops_per_thread=50 if scaled else 120),
+    ]

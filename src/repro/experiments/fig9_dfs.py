@@ -1,0 +1,257 @@
+"""Figure 9: DFS performance and host CPU with three fs-clients.
+
+Compares, on the same DFS backend:
+
+* **NFS** — the standard client (host);
+* **NFS+opt-client** — the optimized host client;
+* **NFS+DPC** — the same optimized stack running on the DPU, reached via
+  nvme-fs (the full DPC system).
+
+Panels: (a) 8 KiB random read/write IOPS on a big file, (b) small-file
+operations (8 KiB random file read = lookup + read; 8 KiB file creation
+write = create + write), (c) 1 MiB sequential bandwidth, and host CPU cores
+for each.
+
+Paper claims checked: opt = 4-5x NFS IOPS at 6-15x CPU; DPC ~= opt
+performance (and ~+40 % on random write / creation write) at ~standard-NFS
+CPU; DPC cuts ~90 % of the optimized client's host CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.testbeds import build_dpc_system, build_host_dfs_clients
+from ..dfs.mds import DFS_ROOT_INO
+from ..host.adapters import O_DIRECT
+from ..host.vfs import O_CREAT
+from ..metrics.stats import ResultTable
+from ..params import SystemParams
+from .common import measure_threads
+
+__all__ = ["run", "run_case", "CASES"]
+
+BLOCK = 8192
+FILE_SIZE = 8 * 1024 * 1024
+SEQ_CHUNK = 1 << 20
+
+CASES = ("rnd-rd", "rnd-wr", "smallfile-rd", "create-wr", "seq-rd", "seq-wr")
+
+
+def _rand_off(tid: int, j: int) -> int:
+    h = (tid * 7919 + j * 104729) & 0xFFFFFFFF
+    return (h % (FILE_SIZE // BLOCK)) * BLOCK
+
+
+class _HostClientDriver:
+    """std/opt client on the host DFS testbed."""
+
+    def __init__(self, kind: str, params):
+        self.tb = build_host_dfs_clients(params)
+        self.client = self.tb.std_client if kind == "std" else self.tb.opt_client
+        self.env = self.tb.env
+        self.host_cpu = self.tb.host_cpu
+
+    def prep_bigfile(self):
+        def prep():
+            attr = yield from self.tb.opt_client.create(DFS_ROOT_INO, b"big")
+            blob = b"\x11" * SEQ_CHUNK
+            for off in range(0, FILE_SIZE, SEQ_CHUNK):
+                yield from self.tb.opt_client.write(attr.ino, off, blob)
+            yield from self.tb.opt_client.flush_metadata()
+            return attr.ino
+
+        return self.tb.run_until(prep())
+
+    def prep_smallfiles(self, count: int):
+        def prep():
+            inos = []
+            for i in range(count):
+                attr = yield from self.tb.opt_client.create(
+                    DFS_ROOT_INO, f"s{i:05d}".encode()
+                )
+                yield from self.tb.opt_client.write(attr.ino, 0, b"\x22" * BLOCK)
+                inos.append((f"s{i:05d}".encode(), attr.ino))
+            yield from self.tb.opt_client.flush_metadata()
+            return inos
+
+        return self.tb.run_until(prep())
+
+    def ops(self, case: str, ino, smallfiles, tid_dirs):
+        client = self.client
+        block = b"\x5a" * BLOCK
+
+        if case == "rnd-rd":
+            def op(tid, j):
+                yield from client.read(ino, _rand_off(tid, j), BLOCK)
+        elif case == "rnd-wr":
+            def op(tid, j):
+                yield from client.write(ino, _rand_off(tid, j), block)
+        elif case == "smallfile-rd":
+            def op(tid, j):
+                name, f_ino = smallfiles[(tid * 31 + j * 17) % len(smallfiles)]
+                attr = yield from client.lookup(DFS_ROOT_INO, name)
+                yield from client.read(attr.ino, 0, BLOCK)
+        elif case == "create-wr":
+            def op(tid, j):
+                attr = yield from client.create(
+                    tid_dirs[tid], f"n{tid}-{j}".encode()
+                )
+                yield from client.write(attr.ino, 0, block)
+        elif case == "seq-rd":
+            def op(tid, j):
+                off = (tid * SEQ_CHUNK + j * SEQ_CHUNK) % FILE_SIZE
+                yield from client.read(ino, off, SEQ_CHUNK)
+        else:  # seq-wr
+            blob = b"\x5a" * SEQ_CHUNK
+
+            def op(tid, j):
+                off = (tid * SEQ_CHUNK + j * SEQ_CHUNK) % FILE_SIZE
+                yield from client.write(ino, off, blob)
+
+        return op
+
+    def make_dirs(self, nthreads):
+        def prep():
+            out = {}
+            for t in range(nthreads):
+                attr = yield from self.tb.opt_client.create(
+                    DFS_ROOT_INO, f"dir{t}".encode(), mode=0o040755
+                )
+                out[t] = attr.ino
+            yield from self.tb.opt_client.flush_metadata()
+            return out
+
+        return self.tb.run_until(prep())
+
+
+class _DpcDriver:
+    """The full DPC system, /dfs mount, direct I/O."""
+
+    def __init__(self, params):
+        self.sys = build_dpc_system(params, with_dfs=True)
+        self.env = self.sys.env
+        self.host_cpu = self.sys.host_cpu
+
+    def prep_bigfile(self):
+        def prep():
+            f = yield from self.sys.vfs.open("/dfs/big", O_CREAT | O_DIRECT)
+            blob = b"\x11" * SEQ_CHUNK
+            for off in range(0, FILE_SIZE, SEQ_CHUNK):
+                yield from self.sys.vfs.write(f, off, blob)
+            return f
+
+        return self.sys.run_until(prep())
+
+    def prep_smallfiles(self, count: int):
+        def prep():
+            handles = []
+            for i in range(count):
+                f = yield from self.sys.vfs.open(
+                    f"/dfs/s{i:05d}", O_CREAT | O_DIRECT
+                )
+                yield from self.sys.vfs.write(f, 0, b"\x22" * BLOCK)
+                handles.append((f"s{i:05d}", f))
+            return handles
+
+        return self.sys.run_until(prep())
+
+    def make_dirs(self, nthreads):
+        return {t: f"/dfs/dir{t}" for t in range(nthreads)}
+
+    def ops(self, case: str, handle, smallfiles, tid_dirs):
+        sys = self.sys
+        block = b"\x5a" * BLOCK
+
+        if case == "rnd-rd":
+            def op(tid, j):
+                yield from sys.vfs.read(handle, _rand_off(tid, j), BLOCK)
+        elif case == "rnd-wr":
+            def op(tid, j):
+                yield from sys.vfs.write(handle, _rand_off(tid, j), block)
+        elif case == "smallfile-rd":
+            def op(tid, j):
+                name, f = smallfiles[(tid * 31 + j * 17) % len(smallfiles)]
+                yield from sys.vfs.stat(f"/dfs/{name}")
+                yield from sys.vfs.read(f, 0, BLOCK)
+        elif case == "create-wr":
+            def op(tid, j):
+                f = yield from sys.vfs.open(
+                    f"{tid_dirs[tid]}/n{tid}-{j}", O_CREAT | O_DIRECT
+                )
+                yield from sys.vfs.write(f, 0, block)
+        elif case == "seq-rd":
+            def op(tid, j):
+                off = (tid * SEQ_CHUNK + j * SEQ_CHUNK) % FILE_SIZE
+                yield from sys.vfs.read(handle, off, SEQ_CHUNK)
+        else:  # seq-wr
+            blob = b"\x5a" * SEQ_CHUNK
+
+            def op(tid, j):
+                off = (tid * SEQ_CHUNK + j * SEQ_CHUNK) % FILE_SIZE
+                yield from sys.vfs.write(handle, off, blob)
+
+        return op
+
+
+def run_case(
+    client: str,
+    case: str,
+    nthreads: int = 64,
+    ops_per_thread: int = 20,
+    params: Optional[SystemParams] = None,
+) -> dict:
+    """One (client, workload) cell -> iops/bandwidth + host cores."""
+    if client == "dpc":
+        driver = _DpcDriver(params)
+    else:
+        driver = _HostClientDriver(client, params)
+    if case in ("seq-rd", "seq-wr"):
+        nthreads = min(nthreads, 16)
+    handle = None
+    smallfiles = None
+    tid_dirs = None
+    if case in ("rnd-rd", "rnd-wr", "seq-rd", "seq-wr"):
+        handle = driver.prep_bigfile()
+    if case == "smallfile-rd":
+        smallfiles = driver.prep_smallfiles(128)
+    if case == "create-wr":
+        if client == "dpc":
+            def mk():
+                for t in range(nthreads):
+                    yield from driver.sys.vfs.mkdir(f"/dfs/dir{t}")
+            driver.sys.run_until(mk())
+            tid_dirs = driver.make_dirs(nthreads)
+        else:
+            tid_dirs = driver.make_dirs(nthreads)
+    op = driver.ops(case, handle, smallfiles, tid_dirs)
+    res = measure_threads(driver.env, nthreads, ops_per_thread, op, host_cpu=driver.host_cpu)
+    unit = SEQ_CHUNK if case.startswith("seq") else BLOCK
+    return {
+        "iops": res.iops,
+        "bandwidth": res.iops * unit,
+        "host_cores": driver.host_cpu.window_cores_used(),
+        "lat_us": res.mean_lat * 1e6,
+    }
+
+
+def run(
+    params: Optional[SystemParams] = None,
+    nthreads: int = 64,
+    ops_per_thread: int = 20,
+    scaled: bool = True,
+    cases=CASES,
+) -> ResultTable:
+    if scaled:
+        ops_per_thread = min(ops_per_thread, 20)
+    table = ResultTable(
+        "Figure 9: DFS clients — NFS vs NFS+opt-client vs NFS+DPC",
+        ["case", "client", "iops_or_GBs", "host_cores"],
+    )
+    for case in cases:
+        for client in ("std", "opt", "dpc"):
+            r = run_case(client, case, nthreads, ops_per_thread, params)
+            value = r["bandwidth"] / 1e9 if case.startswith("seq") else r["iops"]
+            table.add_row(case, client, value, r["host_cores"])
+    table.note("seq rows are GB/s; others are IOPS; 64 threads (16 for seq)")
+    return table

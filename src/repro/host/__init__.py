@@ -1,0 +1,18 @@
+"""Host-side components: VFS, adapters, and the nvme-fs/virtio fs-adapters."""
+
+from .adapters import Ext4Adapter, FsAdapter, FsError, O_DIRECT
+from .fsadapter import DpcAdapter, DpfsAdapter, tag_ino
+from .vfs import O_CREAT, OpenFile, Vfs
+
+__all__ = [
+    "Ext4Adapter",
+    "FsAdapter",
+    "FsError",
+    "O_DIRECT",
+    "DpcAdapter",
+    "DpfsAdapter",
+    "tag_ino",
+    "O_CREAT",
+    "OpenFile",
+    "Vfs",
+]

@@ -1,0 +1,120 @@
+"""File-system adapters: the contract between the VFS and a backend.
+
+Every backend the experiments compare — local Ext4, DPC-over-nvme-fs,
+DPFS-over-virtio-fs — exposes the same generator-based operation set, so the
+VFS, the workloads, and the benchmarks are backend-agnostic.
+
+``O_DIRECT`` in ``flags`` selects the direct data path (bypassing whichever
+cache the backend has).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, Optional, Protocol
+
+from ..localfs.ext4sim import Ext4Error, Ext4Fs
+from ..localfs.ext4sim import ROOT_INO as EXT4_ROOT
+from ..proto.filemsg import Errno, FileAttr
+
+__all__ = ["FsAdapter", "FsError", "Ext4Adapter", "O_DIRECT"]
+
+O_DIRECT = 0x4000
+
+
+class FsError(OSError):
+    """Adapter-level file system error."""
+
+    def __init__(self, errno: Errno, msg: str = ""):
+        super().__init__(int(errno), msg or errno.name)
+        self.errno_code = errno
+
+
+class FsAdapter(Protocol):
+    """The operation set every mounted file system provides."""
+
+    root_ino: int
+
+    def lookup(self, p_ino: int, name: bytes) -> Generator: ...
+    def create(self, p_ino: int, name: bytes, mode: int) -> Generator: ...
+    def mkdir(self, p_ino: int, name: bytes, mode: int) -> Generator: ...
+    def readdir(self, ino: int) -> Generator: ...
+    def stat(self, ino: int) -> Generator: ...
+    def unlink(self, p_ino: int, name: bytes) -> Generator: ...
+    def rmdir(self, p_ino: int, name: bytes) -> Generator: ...
+    def rename(self, p_ino: int, name: bytes, np_ino: int, nname: bytes) -> Generator: ...
+    def truncate(self, ino: int, size: int) -> Generator: ...
+    def read(self, ino: int, offset: int, length: int, flags: int) -> Generator: ...
+    def write(self, ino: int, offset: int, data: bytes, flags: int) -> Generator: ...
+    def fsync(self, ino: int) -> Generator: ...
+
+
+class Ext4Adapter:
+    """Local Ext4 mounted directly in the host kernel (the §4.2 baseline)."""
+
+    def __init__(self, fs: Ext4Fs):
+        self.fs = fs
+        self.root_ino = EXT4_ROOT
+
+    @staticmethod
+    def _attr(inode) -> FileAttr:
+        return FileAttr(
+            ino=inode.ino,
+            size=inode.size,
+            mode=inode.mode,
+            nlink=inode.nlink,
+            mtime=inode.mtime,
+            ctime=inode.ctime,
+            blocks=(inode.size + 4095) // 4096,
+        )
+
+    def _wrap(self, gen) -> Generator:
+        try:
+            result = yield from gen
+        except Ext4Error as e:
+            raise FsError(e.errno_code) from None
+        return result
+
+    def lookup(self, p_ino, name):
+        inode = yield from self._wrap(self.fs.lookup(p_ino, name))
+        return self._attr(inode)
+
+    def create(self, p_ino, name, mode=0o644):
+        inode = yield from self._wrap(self.fs.create(p_ino, name, mode))
+        return self._attr(inode)
+
+    def mkdir(self, p_ino, name, mode=0o755):
+        inode = yield from self._wrap(self.fs.mkdir(p_ino, name, mode))
+        return self._attr(inode)
+
+    def readdir(self, ino):
+        return (yield from self._wrap(self.fs.readdir(ino)))
+
+    def stat(self, ino):
+        inode = yield from self._wrap(self.fs.stat(ino))
+        return self._attr(inode)
+
+    def unlink(self, p_ino, name):
+        yield from self._wrap(self.fs.unlink(p_ino, name))
+
+    def rmdir(self, p_ino, name):
+        yield from self._wrap(self.fs.rmdir(p_ino, name))
+
+    def rename(self, p_ino, name, np_ino, nname):
+        yield from self._wrap(self.fs.rename(p_ino, name, np_ino, nname))
+
+    def truncate(self, ino, size):
+        yield from self._wrap(self.fs.truncate(ino, size))
+
+    def read(self, ino, offset, length, flags=0):
+        return (
+            yield from self._wrap(self.fs.read(ino, offset, length, direct=bool(flags & O_DIRECT)))
+        )
+
+    def write(self, ino, offset, data, flags=0):
+        return (
+            yield from self._wrap(self.fs.write(ino, offset, data, direct=bool(flags & O_DIRECT)))
+        )
+
+    def fsync(self, ino):
+        yield from self._wrap(self.fs.fsync(ino))

@@ -1,0 +1,22 @@
+"""Disaggregated key-value store: LSM shards on the fabric + routed client.
+
+The substrate KVFS converts file operations into (paper §3.4).  The paper
+explicitly does not design this store; ours is complete enough to honour the
+client-visible contracts: ordered prefix scans, point gets/puts, atomic
+cross-key batches, and realistic saturation behaviour.
+"""
+
+from .bloom import BloomFilter
+from .client import KvClient, KvTransactionError
+from .engine import LsmEngine, SortedRun
+from .server import KvCluster, KvShardServer
+
+__all__ = [
+    "BloomFilter",
+    "KvClient",
+    "KvTransactionError",
+    "LsmEngine",
+    "SortedRun",
+    "KvCluster",
+    "KvShardServer",
+]

@@ -1,0 +1,46 @@
+"""A compact Bloom filter for LSM sorted runs.
+
+Keyed blake2b hashing keeps membership tests deterministic across processes
+(Python's built-in ``hash`` is salted and would break reproducibility).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Standard k-hash Bloom filter over a bytearray bit vector."""
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01):
+        if expected_items < 1:
+            expected_items = 1
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0, 1)")
+        nbits = max(8, int(-expected_items * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.nbits = nbits
+        self.nhashes = max(1, round(nbits / expected_items * math.log(2)))
+        self._bits = bytearray((nbits + 7) // 8)
+        self.items = 0
+
+    def _positions(self, key: bytes):
+        # Double hashing: h1 + i*h2 is as good as k independent hashes.
+        d = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(d[:8], "little")
+        h2 = int.from_bytes(d[8:], "little") | 1
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % self.nbits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.items += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._positions(key))
+
+    def size_bytes(self) -> int:
+        return len(self._bits)

@@ -1,0 +1,177 @@
+"""Client for the sharded disaggregated KV store.
+
+Routing: keys are sharded by their first 8 bytes (the *routing prefix*).
+KVFS builds keys so that everything a prefix scan must see shares a routing
+prefix — inode KVs of one directory all start with the parent's 8-byte inode
+number — so ``readdir`` is a single-shard ordered scan.  Scans with a prefix
+shorter than 8 bytes fan out to every shard and merge.
+
+Cross-shard atomicity (rename moves keys between directories, hence shards)
+uses two-phase commit against the shard servers' prepare/commit/abort ops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Generator, Optional, Sequence
+
+from ..sim.core import Environment, Event
+from ..sim.network import Fabric
+from .server import MSG_OVERHEAD
+
+__all__ = ["KvClient", "KvTransactionError"]
+
+
+class KvTransactionError(RuntimeError):
+    """A 2PC transaction could not acquire its locks."""
+
+
+class KvClient:
+    """Issues KV operations from a named fabric endpoint.
+
+    Routing is pluggable: ``route_fn(key) -> bytes`` maps a key to its
+    *routing bytes* (hashed onto a shard), and ``scan_route_fn(prefix) ->
+    bytes | None`` says whether a prefix scan is single-shard (returns the
+    routing bytes) or must fan out (returns None).  The defaults route by
+    the first 8 bytes — KVFS installs a policy that colocates a directory's
+    entries while spreading a file's blocks across shards.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        src: str,
+        shard_names: Sequence[str],
+        route_fn=None,
+        scan_route_fn=None,
+    ):
+        if not shard_names:
+            raise ValueError("need at least one shard")
+        self.fabric = fabric
+        self.src = src
+        self.shards = list(shard_names)
+        self.route_fn = route_fn or (lambda key: key[:8])
+        self.scan_route_fn = scan_route_fn or (
+            lambda prefix: prefix[:8] if len(prefix) >= 8 else None
+        )
+        self._txseq = 0
+        self.ops_issued = 0
+
+    # -- routing ----------------------------------------------------------------
+    def _shard_for(self, routing: bytes) -> str:
+        digest = hashlib.blake2b(routing, digest_size=4).digest()
+        return self.shards[int.from_bytes(digest, "little") % len(self.shards)]
+
+    def route(self, key: bytes) -> str:
+        return self._shard_for(self.route_fn(key))
+
+    # -- point ops ----------------------------------------------------------------
+    def get(self, key: bytes) -> Generator[Event, None, Optional[bytes]]:
+        self.ops_issued += 1
+        resp = yield from self.fabric.rpc(
+            self.src, self.route(key), ("get", key), MSG_OVERHEAD + len(key)
+        )
+        return resp
+
+    def put(self, key: bytes, value: bytes) -> Generator[Event, None, None]:
+        self.ops_issued += 1
+        yield from self.fabric.rpc(
+            self.src,
+            self.route(key),
+            ("put", key, value),
+            MSG_OVERHEAD + len(key) + len(value),
+        )
+
+    def delete(self, key: bytes) -> Generator[Event, None, None]:
+        self.ops_issued += 1
+        yield from self.fabric.rpc(
+            self.src, self.route(key), ("delete", key), MSG_OVERHEAD + len(key)
+        )
+
+    def cas(
+        self, key: bytes, expected: Optional[bytes], new: Optional[bytes]
+    ) -> Generator[Event, None, bool]:
+        """Atomic compare-and-set; ``expected=None`` means create-if-absent."""
+        self.ops_issued += 1
+        size = MSG_OVERHEAD + len(key) + (len(new) if new else 0)
+        ok = yield from self.fabric.rpc(
+            self.src, self.route(key), ("cas", key, expected, new), size
+        )
+        return ok
+
+    # -- scans ---------------------------------------------------------------------
+    def scan_prefix(
+        self, prefix: bytes, limit: Optional[int] = None
+    ) -> Generator[Event, None, list[tuple[bytes, bytes]]]:
+        self.ops_issued += 1
+        routing = self.scan_route_fn(prefix)
+        if routing is not None:
+            items = yield from self.fabric.rpc(
+                self.src,
+                self._shard_for(routing),
+                ("scan", prefix, limit),
+                MSG_OVERHEAD + len(prefix),
+            )
+            return items
+        # Unroutable prefix: fan out and merge.
+        merged: list[tuple[bytes, bytes]] = []
+        for shard in self.shards:
+            items = yield from self.fabric.rpc(
+                self.src, shard, ("scan", prefix, limit), MSG_OVERHEAD + len(prefix)
+            )
+            merged.extend(items)
+        merged.sort()
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    # -- atomic batches -----------------------------------------------------------
+    def batch_commit(
+        self, ops: Sequence[tuple]
+    ) -> Generator[Event, None, None]:
+        """Apply a list of ("put", k, v) / ("delete", k) ops atomically.
+
+        Single-shard batches use the server's local atomic batch; cross-shard
+        batches run two-phase commit.  Raises :class:`KvTransactionError` if
+        any participant refuses to prepare (lock conflict).
+        """
+        by_shard: dict[str, list[tuple]] = {}
+        for op in ops:
+            if op[0] not in ("put", "delete"):
+                raise ValueError(f"batch may contain put/delete only, got {op[0]!r}")
+            by_shard.setdefault(self.route(op[1]), []).append(op)
+        if not by_shard:
+            return
+        self.ops_issued += 1
+        if len(by_shard) == 1:
+            (shard, shard_ops), = by_shard.items()
+            size = MSG_OVERHEAD + sum(
+                len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
+            )
+            yield from self.fabric.rpc(self.src, shard, ("batch", shard_ops), size)
+            return
+        # Two-phase commit.
+        self._txseq += 1
+        txid = f"{self.src}:{self._txseq}"
+        prepared: list[str] = []
+        ok_all = True
+        for shard, shard_ops in by_shard.items():
+            size = MSG_OVERHEAD + sum(
+                len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
+            )
+            ok = yield from self.fabric.rpc(
+                self.src, shard, ("prepare", txid, shard_ops), size
+            )
+            if ok:
+                prepared.append(shard)
+            else:
+                ok_all = False
+                break
+        if not ok_all:
+            for shard in prepared:
+                yield from self.fabric.rpc(
+                    self.src, shard, ("abort", txid), MSG_OVERHEAD
+                )
+            raise KvTransactionError(f"2PC prepare failed for {txid}")
+        for shard in by_shard:
+            yield from self.fabric.rpc(self.src, shard, ("commit", txid), MSG_OVERHEAD)

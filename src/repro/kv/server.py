@@ -1,0 +1,207 @@
+"""Disaggregated KV store: shard servers on the simulated fabric.
+
+Each shard is an :class:`LsmEngine` behind an RPC inbox.  Service times and
+thread-pool limits are charged on the simulated clock, so the store has real
+saturation behaviour — this is what lets KVFS "easily scale with
+high-performance KV stores" (paper §4.2) while still having the backend
+bandwidth ceilings the paper reports in Table 2.
+
+Supported operations (request payload tuples):
+
+``("get", key)``                       -> value bytes or None
+``("put", key, value)``                -> "ok"
+``("delete", key)``                    -> "ok"
+``("scan", prefix, limit)``            -> list[(key, value)]
+``("cas", key, expected, new)``        -> bool  (expected None = create-only)
+``("batch", [ops...])``                -> "ok"  (atomic on this shard)
+``("prepare", txid, [ops...])``        -> bool  (2PC phase 1: lock + stage)
+``("commit", txid)``                   -> "ok"
+``("abort", txid)``                    -> "ok"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.network import Fabric, Message, RpcEndpoint
+from ..sim.resources import Resource, TokenBucket
+from .engine import LsmEngine
+
+__all__ = ["KvShardServer", "KvCluster"]
+
+#: fixed per-message header bytes on the wire
+MSG_OVERHEAD = 64
+
+
+class KvShardServer:
+    """One shard: an LSM engine served by a small thread pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        name: str,
+        params: SystemParams,
+        read_bw: Optional[TokenBucket] = None,
+        write_bw: Optional[TokenBucket] = None,
+        threads: Optional[int] = None,
+    ):
+        if threads is None:
+            threads = params.kv_server_threads
+        self.env = env
+        self.fabric = fabric
+        self.name = name
+        self.params = params
+        self.engine = LsmEngine(memtable_limit_bytes=params.kv_memtable_bytes)
+        self.endpoint: RpcEndpoint = fabric.attach(name, params.kv_server_bandwidth)
+        self.threads = Resource(env, threads)
+        self.read_bw = read_bw
+        self.write_bw = write_bw
+        # 2PC state: txid -> (ops, locked keys)
+        self._staged: dict[str, list[tuple]] = {}
+        self._locks: set[bytes] = set()
+        self.ops_served = 0
+        env.process(self._serve(), name=f"{name}-server")
+
+    # -- main loop -----------------------------------------------------------
+    def _serve(self) -> Generator[Event, None, None]:
+        while True:
+            msg = yield self.endpoint.inbox.get()
+            # Handle each request in its own process so the thread pool, not
+            # the inbox, is the concurrency limiter.
+            self.env.process(self._handle(msg), name=f"{self.name}-req")
+
+    def _handle(self, msg: Message) -> Generator[Event, None, None]:
+        req = self.threads.request()
+        yield req
+        try:
+            resp, resp_size = yield from self._execute(msg.payload)
+        finally:
+            self.threads.release(req)
+        self.ops_served += 1
+        yield from self.fabric.reply(msg, resp, resp_size)
+
+    # -- operation execution ---------------------------------------------------
+    def _execute(self, op: tuple) -> Generator[Event, None, tuple[Any, int]]:
+        p = self.params
+        kind = op[0]
+        if kind == "get":
+            # Peek at the value to pick the service tier: small (metadata)
+            # values sit in the store's cache tier; data blocks hit media.
+            value = self.engine.get(op[1])
+            small = value is None or len(value) < p.kv_meta_value_limit
+            yield self.env.timeout(p.kv_meta_get_service if small else p.kv_get_service)
+            if value is not None and not small and self.read_bw is not None:
+                yield self.read_bw.transfer(len(value))
+            size = MSG_OVERHEAD + (len(value) if value is not None else 0)
+            return value, size
+        if kind == "put":
+            small = len(op[2]) < p.kv_meta_value_limit
+            yield self.env.timeout(p.kv_meta_put_service if small else p.kv_put_service)
+            if not small and self.write_bw is not None:
+                yield self.write_bw.transfer(len(op[2]))
+            yield from self._wait_unlocked(op[1])
+            self.engine.put(op[1], op[2])
+            return "ok", MSG_OVERHEAD
+        if kind == "delete":
+            yield self.env.timeout(p.kv_put_service)
+            yield from self._wait_unlocked(op[1])
+            self.engine.delete(op[1])
+            return "ok", MSG_OVERHEAD
+        if kind == "scan":
+            _, prefix, limit = op
+            items = self.engine.scan_prefix(prefix, limit)
+            yield self.env.timeout(
+                p.kv_get_service + p.kv_scan_service_per_item * len(items)
+            )
+            size = MSG_OVERHEAD + sum(len(k) + len(v) for k, v in items)
+            return items, size
+        if kind == "cas":
+            _, key, expected, new = op
+            yield self.env.timeout(p.kv_put_service)
+            yield from self._wait_unlocked(key)
+            current = self.engine.get(key)
+            if current == expected:
+                if new is None:
+                    self.engine.delete(key)
+                else:
+                    self.engine.put(key, new)
+                return True, MSG_OVERHEAD
+            return False, MSG_OVERHEAD
+        if kind == "batch":
+            _, ops = op
+            yield self.env.timeout(p.kv_put_service + 0.2e-6 * len(ops))
+            for sub in ops:
+                yield from self._wait_unlocked(sub[1])
+            self._apply_all(ops)
+            return "ok", MSG_OVERHEAD
+        if kind == "prepare":
+            _, txid, ops = op
+            yield self.env.timeout(p.kv_put_service)
+            keys = [sub[1] for sub in ops]
+            if any(k in self._locks for k in keys):
+                return False, MSG_OVERHEAD
+            self._locks.update(keys)
+            self._staged[txid] = ops
+            return True, MSG_OVERHEAD
+        if kind == "commit":
+            _, txid = op
+            yield self.env.timeout(p.kv_put_service)
+            ops = self._staged.pop(txid, [])
+            self._apply_all(ops)
+            for sub in ops:
+                self._locks.discard(sub[1])
+            return "ok", MSG_OVERHEAD
+        if kind == "abort":
+            _, txid = op
+            yield self.env.timeout(p.kv_get_service)
+            ops = self._staged.pop(txid, [])
+            for sub in ops:
+                self._locks.discard(sub[1])
+            return "ok", MSG_OVERHEAD
+        raise ValueError(f"unknown KV op {kind!r}")
+
+    def _wait_unlocked(self, key: bytes) -> Generator[Event, None, None]:
+        """Block behind an in-flight transaction holding ``key``."""
+        while key in self._locks:
+            yield self.env.timeout(5e-6)
+
+    def _apply_all(self, ops: list[tuple]) -> None:
+        for sub in ops:
+            if sub[0] == "put":
+                self.engine.put(sub[1], sub[2])
+            elif sub[0] == "delete":
+                self.engine.delete(sub[1])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"batch may contain put/delete only, got {sub[0]!r}")
+
+
+class KvCluster:
+    """The whole disaggregated store: N shards + shared backend bandwidth."""
+
+    def __init__(self, env: Environment, fabric: Fabric, params: SystemParams):
+        self.env = env
+        self.fabric = fabric
+        self.params = params
+        # Shared media bandwidth behind all shards (Table 2's ceiling).
+        self.read_bw = TokenBucket(env, params.kv_backend_read_bw, "kv-read-bw")
+        self.write_bw = TokenBucket(env, params.kv_backend_write_bw, "kv-write-bw")
+        self.shards = [
+            KvShardServer(
+                env,
+                fabric,
+                f"kv{i}",
+                params,
+                read_bw=self.read_bw,
+                write_bw=self.write_bw,
+            )
+            for i in range(params.kv_shards)
+        ]
+
+    def shard_names(self) -> list[str]:
+        return [s.name for s in self.shards]
+
+    def total_ops(self) -> int:
+        return sum(s.ops_served for s in self.shards)

@@ -1,0 +1,7 @@
+"""KVFS: the KV-backed POSIX standalone file service (paper §3.4)."""
+
+from .fileobject import FileObject
+from .fs import Kvfs, KvfsError
+from . import schema
+
+__all__ = ["FileObject", "Kvfs", "KvfsError", "schema"]

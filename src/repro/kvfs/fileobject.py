@@ -1,0 +1,118 @@
+"""The big-file *file object*: an extent index over a file's block space.
+
+Paper §3.4: "big file KV uses the file object designed for DFS, in which
+each file is associated with a file object.  The file object uses an index
+structure to map the underlying discrete physical storage blocks into its
+own contiguous file space."
+
+Here the index is a sorted, coalesced extent list over logical block
+numbers.  It answers "which blocks of this file exist" (holes read as
+zeros), supports in-place adds, range removal for truncate, and serialises
+to a compact binary form stored in the file-object KV.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Iterator
+
+__all__ = ["FileObject"]
+
+_HDR = struct.Struct("<QI")  # ino, extent count
+_EXT = struct.Struct("<QQ")  # start block, length
+
+
+class FileObject:
+    """Extent index of one big file."""
+
+    def __init__(self, ino: int):
+        self.ino = ino
+        #: sorted, non-overlapping, non-adjacent (start, length) extents
+        self._extents: list[tuple[int, int]] = []
+
+    # -- queries ------------------------------------------------------------------
+    def contains(self, block: int) -> bool:
+        i = bisect.bisect_right(self._extents, (block, float("inf"))) - 1
+        if i < 0:
+            return False
+        start, length = self._extents[i]
+        return start <= block < start + length
+
+    def blocks(self) -> Iterator[int]:
+        for start, length in self._extents:
+            yield from range(start, start + length)
+
+    def block_count(self) -> int:
+        return sum(l for _, l in self._extents)
+
+    def extent_count(self) -> int:
+        return len(self._extents)
+
+    def highest_block(self) -> int:
+        """Highest mapped block, or -1 for an empty file."""
+        if not self._extents:
+            return -1
+        start, length = self._extents[-1]
+        return start + length - 1
+
+    # -- mutation --------------------------------------------------------------------
+    def add(self, block: int) -> bool:
+        """Map one block; returns False if it was already mapped."""
+        if block < 0:
+            raise ValueError("negative block number")
+        if self.contains(block):
+            return False
+        i = bisect.bisect_left(self._extents, (block, 0))
+        prev_adj = i > 0 and sum(self._extents[i - 1]) == block
+        next_adj = i < len(self._extents) and self._extents[i][0] == block + 1
+        if prev_adj and next_adj:
+            ps, pl = self._extents[i - 1]
+            _ns, nl = self._extents[i]
+            self._extents[i - 1 : i + 1] = [(ps, pl + 1 + nl)]
+        elif prev_adj:
+            ps, pl = self._extents[i - 1]
+            self._extents[i - 1] = (ps, pl + 1)
+        elif next_adj:
+            ns, nl = self._extents[i]
+            self._extents[i] = (block, nl + 1)
+        else:
+            self._extents.insert(i, (block, 1))
+        return True
+
+    def remove_from(self, first_dead_block: int) -> list[int]:
+        """Unmap every block >= ``first_dead_block`` (truncate); returns them."""
+        removed: list[int] = []
+        kept: list[tuple[int, int]] = []
+        for start, length in self._extents:
+            end = start + length
+            if end <= first_dead_block:
+                kept.append((start, length))
+            elif start >= first_dead_block:
+                removed.extend(range(start, end))
+            else:
+                kept.append((start, first_dead_block - start))
+                removed.extend(range(first_dead_block, end))
+        self._extents = kept
+        return removed
+
+    # -- serialisation ------------------------------------------------------------------
+    def pack(self) -> bytes:
+        out = bytearray(_HDR.pack(self.ino, len(self._extents)))
+        for start, length in self._extents:
+            out += _EXT.pack(start, length)
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "FileObject":
+        ino, count = _HDR.unpack_from(raw, 0)
+        obj = cls(ino)
+        pos = _HDR.size
+        for _ in range(count):
+            start, length = _EXT.unpack_from(raw, pos)
+            pos += _EXT.size
+            obj._extents.append((start, length))
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FileObject ino={self.ino} extents={self._extents}>"

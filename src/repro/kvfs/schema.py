@@ -1,0 +1,144 @@
+"""Key/value schemas of KVFS (paper §3.4).
+
+Four KV types represent files and directories:
+
+* **Inode KV** — ``[key: p_ino + name; value: ino]``: maps a parent
+  directory inode + component name to the child's inode number.  ``p_ino``
+  is a key prefix, so a prefix scan lists a whole directory.
+* **Attribute KV** — ``[key: ino; value: 256-byte attribute block]``.
+* **Small-file KV** — ``[key: ino; value: file data]`` for files < 8 KiB;
+  updates rewrite the whole value.
+* **Big-file KV** — ``[key: ino (+ block); value: 8 KiB blocks]`` with
+  in-place block-granular updates, plus a *file object* extent index
+  (:mod:`repro.kvfs.fileobject`).
+
+Encoding notes: every key starts with a one-byte type tag followed by the
+8-byte big-endian inode that owns it.  Shard routing (:func:`routing_key`)
+colocates one directory's inode KVs — making ``readdir`` a single-shard
+ordered scan — while spreading a file's data blocks across every shard.
+Names are limited to 1024 bytes, making the longest inode-KV key
+1 + 8 + 1024 = 1033 bytes (the paper's "maximum length of the key is 1088
+bytes" with their 64-byte prefix framing).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..proto.filemsg import FileAttr
+
+__all__ = [
+    "ROOT_INO",
+    "MAX_NAME",
+    "inode_key",
+    "inode_scan_prefix",
+    "parse_inode_key",
+    "attr_key",
+    "small_key",
+    "block_key",
+    "fileobj_key",
+    "counter_key",
+    "pack_attr",
+    "routing_key",
+    "scan_routing",
+    "unpack_attr",
+    "ATTR_SIZE",
+]
+
+#: the root directory's inode number (paper: "root directory has a unique
+#: inode number 0")
+ROOT_INO = 0
+MAX_NAME = 1024
+
+_TAG_INODE = b"I"
+_TAG_ATTR = b"A"
+_TAG_SMALL = b"S"
+_TAG_BLOCK = b"D"
+_TAG_FILEOBJ = b"X"
+_TAG_COUNTER = b"C"
+
+#: attribute blocks are fixed 256 bytes on the wire (paper: "a 256-byte data
+#: structure") — the packed FileAttr padded out
+ATTR_SIZE = 256
+
+
+def _ino8(ino: int) -> bytes:
+    if not 0 <= ino < 2**63:
+        raise ValueError(f"inode {ino} out of range")
+    return struct.pack(">Q", ino)
+
+
+def inode_key(p_ino: int, name: bytes) -> bytes:
+    """Key of the inode KV mapping (parent, name) -> child ino."""
+    if not name or b"/" in name or name in (b".", b".."):
+        raise ValueError(f"invalid component name {name!r}")
+    if len(name) > MAX_NAME:
+        raise ValueError("name exceeds 1024 bytes")
+    return _TAG_INODE + _ino8(p_ino) + name
+
+
+def inode_scan_prefix(p_ino: int) -> bytes:
+    """Prefix covering every directory entry of ``p_ino``."""
+    return _TAG_INODE + _ino8(p_ino)
+
+
+def parse_inode_key(key: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`inode_key` -> (p_ino, name)."""
+    if key[:1] != _TAG_INODE or len(key) < 10:
+        raise ValueError("not an inode key")
+    return struct.unpack(">Q", key[1:9])[0], key[9:]
+
+
+def attr_key(ino: int) -> bytes:
+    return _TAG_ATTR + _ino8(ino)
+
+
+def small_key(ino: int) -> bytes:
+    return _TAG_SMALL + _ino8(ino)
+
+
+def block_key(ino: int, block: int) -> bytes:
+    """Key of one 8 KiB block of a big file (in-place updatable)."""
+    if block < 0:
+        raise ValueError("negative block number")
+    return _TAG_BLOCK + _ino8(ino) + struct.pack(">Q", block)
+
+
+def fileobj_key(ino: int) -> bytes:
+    """Key of the file-object extent index of a big file."""
+    return _TAG_FILEOBJ + _ino8(ino)
+
+
+def counter_key() -> bytes:
+    """Key of the global inode-number allocator."""
+    return _TAG_COUNTER + b"\0" * 8
+
+
+def routing_key(key: bytes) -> bytes:
+    """KVFS's shard-routing policy.
+
+    Inode KVs route by ``"I" + p_ino`` so one directory's entries colocate
+    (``readdir`` is a single-shard ordered scan); every other key — attrs,
+    small files, big-file blocks, file objects — routes by its full key, so
+    a big file's blocks spread across all shards (the scalability Figure 7
+    depends on).
+    """
+    if key[:1] == _TAG_INODE and len(key) >= 9:
+        return key[:9]
+    return key
+
+
+def scan_routing(prefix: bytes):
+    """Single-shard scan routing: only directory-listing prefixes qualify."""
+    if prefix[:1] == _TAG_INODE and len(prefix) >= 9:
+        return prefix[:9]
+    return None
+
+
+def pack_attr(attr: FileAttr) -> bytes:
+    blob = attr.pack()
+    return blob + b"\0" * (ATTR_SIZE - len(blob))
+
+
+def unpack_attr(value: bytes) -> FileAttr:
+    return FileAttr.unpack(value)

@@ -1,0 +1,19 @@
+"""An ext4-like local file system: the standalone baseline of paper §4.2."""
+
+from .allocator import AllocError, BitmapAllocator
+from .ext4sim import Ext4Error, Ext4Fs, ROOT_INO
+from .inode import DiskInode
+from .journal import Journal, Transaction
+from .pagecache import PageCache
+
+__all__ = [
+    "AllocError",
+    "BitmapAllocator",
+    "Ext4Error",
+    "Ext4Fs",
+    "ROOT_INO",
+    "DiskInode",
+    "Journal",
+    "Transaction",
+    "PageCache",
+]

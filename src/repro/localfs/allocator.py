@@ -1,0 +1,108 @@
+"""Bitmap block allocator with extent (contiguous-run) allocation.
+
+Ext4 allocates in extents to keep files contiguous; sequential bandwidth in
+Table 2 depends on it.  First-fit over a bitmap with a rotating start hint,
+returning as few runs as possible for a request.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitmapAllocator", "AllocError"]
+
+
+class AllocError(RuntimeError):
+    """Device out of blocks."""
+
+
+class BitmapAllocator:
+    """Tracks free blocks in [base, base + count)."""
+
+    def __init__(self, base: int, count: int):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.base = base
+        self.count = count
+        self._free_runs: list[tuple[int, int]] = [(base, count)]  # sorted (start, len)
+        self.allocated = 0
+
+    def free_blocks(self) -> int:
+        return self.count - self.allocated
+
+    def alloc_extents(self, nblocks: int) -> list[tuple[int, int]]:
+        """Allocate ``nblocks``, returned as a minimal list of (start, len)."""
+        if nblocks < 1:
+            raise ValueError("nblocks must be >= 1")
+        if nblocks > self.free_blocks():
+            raise AllocError(f"need {nblocks} blocks, {self.free_blocks()} free")
+        out: list[tuple[int, int]] = []
+        need = nblocks
+        # Pass 1: a single run that fits entirely.
+        for i, (start, length) in enumerate(self._free_runs):
+            if length >= need:
+                out.append((start, need))
+                if length == need:
+                    self._free_runs.pop(i)
+                else:
+                    self._free_runs[i] = (start + need, length - need)
+                self.allocated += nblocks
+                return out
+        # Pass 2: greedy largest-first to minimise fragmentation of the file.
+        runs = sorted(range(len(self._free_runs)), key=lambda i: -self._free_runs[i][1])
+        taken: list[int] = []
+        for i in runs:
+            start, length = self._free_runs[i]
+            take = min(length, need)
+            out.append((start, take))
+            need -= take
+            taken.append(i)
+            if need == 0:
+                break
+        # Apply the takes (iterate indices descending so pops stay valid).
+        for i in sorted(taken, reverse=True):
+            start, length = self._free_runs[i]
+            took = next(t for s, t in out if s == start)
+            if took == length:
+                self._free_runs.pop(i)
+            else:
+                self._free_runs[i] = (start + took, length - took)
+        out.sort()
+        self.allocated += nblocks
+        return out
+
+    def free_extents(self, extents: list[tuple[int, int]]) -> None:
+        """Return extents to the free pool (coalescing)."""
+        for start, length in extents:
+            if length < 1:
+                raise ValueError("extent length must be >= 1")
+            if start < self.base or start + length > self.base + self.count:
+                raise ValueError("extent outside the allocator's region")
+            self._insert(start, length)
+            self.allocated -= length
+
+    def _insert(self, start: int, length: int) -> None:
+        lo, hi = 0, len(self._free_runs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free_runs[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Overlap check against neighbours (double free guard).
+        if lo > 0:
+            ps, pl = self._free_runs[lo - 1]
+            if ps + pl > start:
+                raise ValueError(f"double free at block {start}")
+        if lo < len(self._free_runs) and start + length > self._free_runs[lo][0]:
+            raise ValueError(f"double free at block {start}")
+        self._free_runs.insert(lo, (start, length))
+        # Coalesce forward then backward.
+        if lo + 1 < len(self._free_runs):
+            s, l = self._free_runs[lo]
+            ns, nl = self._free_runs[lo + 1]
+            if s + l == ns:
+                self._free_runs[lo : lo + 2] = [(s, l + nl)]
+        if lo > 0:
+            ps, pl = self._free_runs[lo - 1]
+            s, l = self._free_runs[lo]
+            if ps + pl == s:
+                self._free_runs[lo - 1 : lo + 1] = [(ps, pl + l)]

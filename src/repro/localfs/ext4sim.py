@@ -1,0 +1,652 @@
+"""An ext4-like local file system over the simulated NVMe SSD.
+
+The baseline of paper §4.2 (Figure 7, Figure 8, Table 2).  It reproduces the
+mechanisms whose costs matter there:
+
+* extent-mapped regular files over a bitmap allocator,
+* a JBD2-style journal for all metadata mutations (inodes, bitmaps,
+  directory blocks),
+* directories as real dirent blocks (linear scan, append-in-place),
+* a host page cache for buffered I/O with background write-back,
+* direct I/O splitting into ≤256 KiB bios, with readahead pipelining for
+  sequential reads,
+* a host CPU model whose per-op cost grows with the number of concurrently
+  active threads (journal/inode lock bouncing + scheduler load) — the
+  source of Ext4's >90 % host CPU at 256 threads.
+
+Everything stores real bytes on the simulated device and reads them back.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional
+
+from ..params import SystemParams
+from ..proto.filemsg import Errno
+from ..sim.core import Environment, Event
+from ..sim.cpu import CpuPool
+from ..sim.nvme_device import BLOCK, NvmeSsd
+from .allocator import AllocError, BitmapAllocator
+from .inode import DiskInode, INODE_SIZE, S_IFDIR, S_IFREG
+from .journal import Journal
+from .pagecache import PageCache
+
+__all__ = ["Ext4Fs", "Ext4Error", "ROOT_INO"]
+
+ROOT_INO = 1
+_DIRENT = struct.Struct("<QH")
+
+
+class Ext4Error(OSError):
+    def __init__(self, errno: Errno, msg: str = ""):
+        super().__init__(int(errno), msg or errno.name)
+        self.errno_code = errno
+
+
+class Ext4Fs:
+    """The local file system instance ("mkfs" happens in __init__)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: NvmeSsd,
+        host_cpu: CpuPool,
+        params: SystemParams,
+        cache_pages: int = 16384,
+        max_inodes: int = 65536,
+    ):
+        self.env = env
+        self.device = device
+        self.host_cpu = host_cpu
+        self.params = params
+        # On-disk layout.
+        self._itable_first = 1
+        itable_blocks = max_inodes * INODE_SIZE // BLOCK
+        journal_first = self._itable_first + itable_blocks
+        journal_blocks = 2048
+        data_first = journal_first + journal_blocks
+        if data_first >= device.capacity_blocks:
+            raise ValueError("device too small for this layout")
+        self.journal = Journal(env, device, journal_first, journal_blocks)
+        self.alloc = BitmapAllocator(data_first, device.capacity_blocks - data_first)
+        self.max_inodes = max_inodes
+        self._next_ino = ROOT_INO + 1
+        self._free_inos: list[int] = []
+        #: in-memory inode cache (authoritative; persisted via the journal)
+        self._icache: dict[int, DiskInode] = {}
+        #: in-memory mirror of inode-table blocks for journal composition
+        self._itable_shadow: dict[int, bytearray] = {}
+        self.cache = PageCache(env, cache_pages, self._cache_writeback)
+        #: concurrently active fs operations (drives the contention model)
+        self._active = 0
+        self.ops_completed = 0
+        # The root directory.
+        root = DiskInode(ROOT_INO, mode=S_IFDIR | 0o755, nlink=2)
+        self._icache[ROOT_INO] = root
+
+    # ------------------------------------------------------------------ CPU model
+    def _charge(self, factor: float = 1.0, read: bool = False) -> Generator[Event, None, None]:
+        p = self.params
+        per_thread = p.ext4_contention_cpu + (p.ext4_read_contention_cpu if read else 0.0)
+        cost = (p.ext4_op_cpu_base + per_thread * self._active) * factor
+        yield from self.host_cpu.execute(cost, tag="ext4")
+
+    def _begin(self) -> None:
+        self._active += 1
+
+    def _end(self) -> None:
+        self._active -= 1
+        self.ops_completed += 1
+
+    # ------------------------------------------------------------------ inodes
+    def _get_inode(self, ino: int) -> Generator[Event, None, DiskInode]:
+        inode = self._icache.get(ino)
+        if inode is not None:
+            return inode
+        # Cold: read the inode's table block from disk.
+        blk = self._itable_first + (ino * INODE_SIZE) // BLOCK
+        raw = yield from self.journal.read_home_block(blk)
+        off = (ino * INODE_SIZE) % BLOCK
+        inode = DiskInode.unpack(ino, raw[off : off + INODE_SIZE])
+        if inode.nlink == 0:
+            raise Ext4Error(Errno.ENOENT, f"inode {ino}")
+        self._icache[ino] = inode
+        return inode
+
+    def _inode_block(self, ino: int) -> tuple[int, int]:
+        return self._itable_first + (ino * INODE_SIZE) // BLOCK, (ino * INODE_SIZE) % BLOCK
+
+    def _journal_inode(self, tx, inode: DiskInode) -> None:
+        blk, off = self._inode_block(inode.ino)
+        shadow = self._itable_shadow.setdefault(blk, bytearray(BLOCK))
+        shadow[off : off + INODE_SIZE] = inode.pack()
+        tx.log_block(blk, bytes(shadow))
+
+    def _alloc_ino(self) -> int:
+        if self._free_inos:
+            return self._free_inos.pop()
+        if self._next_ino >= self.max_inodes:
+            raise Ext4Error(Errno.ENOSPC, "out of inodes")
+        ino = self._next_ino
+        self._next_ino += 1
+        return ino
+
+    # ------------------------------------------------------------------ block I/O
+    def _cache_writeback(self, ino: int, lpn: int, data: bytes) -> Generator[Event, None, None]:
+        inode = yield from self._get_inode(ino)
+        dblock = inode.map_block(lpn)
+        if dblock is None:
+            return  # file truncated under the cache; drop the page
+        yield from self.device.write_blocks(dblock, data.ljust(BLOCK, b"\0"))
+
+    def _ensure_blocks(
+        self, tx, inode: DiskInode, first_lblock: int, count: int
+    ) -> Generator[Event, None, None]:
+        """Allocate any unmapped blocks in [first, first+count)."""
+        missing: list[int] = [
+            lb
+            for lb in range(first_lblock, first_lblock + count)
+            if inode.map_block(lb) is None
+        ]
+        if not missing:
+            return
+        # Allocate runs of consecutive logical blocks together.
+        runs: list[tuple[int, int]] = []
+        start = missing[0]
+        length = 1
+        for lb in missing[1:]:
+            if lb == start + length:
+                length += 1
+            else:
+                runs.append((start, length))
+                start, length = lb, 1
+        runs.append((start, length))
+        for lstart, llen in runs:
+            try:
+                extents = self.alloc.alloc_extents(llen)
+            except AllocError:
+                raise Ext4Error(Errno.ENOSPC)
+            lb = lstart
+            for dstart, dlen in extents:
+                inode.add_extent(lb, dstart, dlen)
+                lb += dlen
+        self._journal_inode(tx, inode)
+        yield from ()
+
+    def _runs_for(self, inode: DiskInode, first_lblock: int, count: int) -> list[tuple[int, int, int]]:
+        """(lblock, dblock or -1 for hole, run length) covering the range."""
+        out: list[tuple[int, int, int]] = []
+        lb = first_lblock
+        end = first_lblock + count
+        while lb < end:
+            db = inode.map_block(lb)
+            run = 1
+            while lb + run < end:
+                nxt = inode.map_block(lb + run)
+                if db is None and nxt is None:
+                    run += 1
+                elif db is not None and nxt == db + run:
+                    run += 1
+                else:
+                    break
+            out.append((lb, db if db is not None else -1, run))
+            lb += run
+        return out
+
+    # ------------------------------------------------------------------ data path
+    def read(
+        self, ino: int, offset: int, length: int, direct: bool = False
+    ) -> Generator[Event, None, bytes]:
+        """Read file data (buffered via the page cache unless ``direct``)."""
+        self._begin()
+        try:
+            yield from self._charge(read=True)
+            inode = yield from self._get_inode(ino)
+            if inode.is_dir:
+                raise Ext4Error(Errno.EISDIR)
+            if offset >= inode.size or length <= 0:
+                return b""
+            length = min(length, inode.size - offset)
+            first = offset // BLOCK
+            last = (offset + length - 1) // BLOCK
+            if direct:
+                data = yield from self._read_direct(inode, first, last - first + 1)
+            else:
+                data = yield from self._read_buffered(inode, first, last - first + 1)
+            start = offset - first * BLOCK
+            return bytes(data[start : start + length])
+        finally:
+            self._end()
+
+    def _read_direct(
+        self, inode: DiskInode, first: int, count: int
+    ) -> Generator[Event, None, bytearray]:
+        max_bio = self.params.ext4_max_bio // BLOCK
+        out = bytearray()
+        runs = self._runs_for(inode, first, count)
+        # Readahead-style pipelining: keep up to 2 bios in flight.
+        bios: list[tuple[int, int, int]] = []  # (dblock, nblocks, out offset)
+        pos = 0
+        for _lb, db, run in runs:
+            if db == -1:
+                bios.append((-1, run, pos))
+            else:
+                done = 0
+                while done < run:
+                    n = min(max_bio, run - done)
+                    bios.append((db + done, n, pos + done * BLOCK))
+                    done += n
+            pos += run * BLOCK
+        out.extend(bytes(count * BLOCK))
+        window: list = []
+        results: dict[int, bytes] = {}
+
+        def issue(dblock: int, nblocks: int, off: int):
+            def bio():
+                if dblock == -1:
+                    yield self.env.timeout(0)
+                    return off, bytes(nblocks * BLOCK)
+                data = yield from self.device.read_blocks(dblock, nblocks)
+                return off, data
+
+            return self.env.process(bio())
+
+        for bio_spec in bios:
+            window.append(issue(*bio_spec))
+            if len(window) >= 2:
+                p = window.pop(0)
+                off, data = yield p
+                out[off : off + len(data)] = data
+        for p in window:
+            off, data = yield p
+            out[off : off + len(data)] = data
+        return out
+
+    def _read_buffered(
+        self, inode: DiskInode, first: int, count: int
+    ) -> Generator[Event, None, bytearray]:
+        out = bytearray()
+        for lb in range(first, first + count):
+            page = self.cache.get(inode.ino, lb)
+            if page is None:
+                db = inode.map_block(lb)
+                if db is None:
+                    page = bytes(BLOCK)
+                else:
+                    # Readahead: pull a contiguous run in one device read.
+                    ra = 1
+                    while (
+                        ra < 32
+                        and lb + ra < first + count + 32
+                        and inode.map_block(lb + ra) == db + ra
+                        and self.cache.get(inode.ino, lb + ra) is None
+                    ):
+                        ra += 1
+                    data = yield from self.device.read_blocks(db, ra)
+                    for j in range(ra):
+                        yield from self.cache.put(
+                            inode.ino, lb + j, data[j * BLOCK : (j + 1) * BLOCK], dirty=False
+                        )
+                    page = data[:BLOCK]
+                yield from self.host_cpu.execute(
+                    self.params.host_copy_per_4k, tag="ext4"
+                )
+            out += page
+        return out
+
+    def write(
+        self, ino: int, offset: int, data: bytes, direct: bool = False
+    ) -> Generator[Event, None, int]:
+        """Write file data; allocates blocks and journals metadata changes."""
+        self._begin()
+        try:
+            yield from self._charge()
+            inode = yield from self._get_inode(ino)
+            if inode.is_dir:
+                raise Ext4Error(Errno.EISDIR)
+            if not data:
+                return 0
+            first = offset // BLOCK
+            last = (offset + len(data) - 1) // BLOCK
+            tx = self.journal.begin()
+            yield from self._ensure_blocks(tx, inode, first, last - first + 1)
+            if offset + len(data) > inode.size:
+                inode.size = offset + len(data)
+                inode.mtime = int(self.env.now * 1e6)
+                self._journal_inode(tx, inode)
+            if len(tx):
+                yield from self.journal.commit(tx)
+            if direct:
+                yield from self._write_direct(inode, offset, data)
+            else:
+                yield from self._write_buffered(inode, offset, data)
+            return len(data)
+        finally:
+            self._end()
+
+    def _write_direct(
+        self, inode: DiskInode, offset: int, data: bytes
+    ) -> Generator[Event, None, None]:
+        first = offset // BLOCK
+        last = (offset + len(data) - 1) // BLOCK
+        # Read-modify-write unaligned edges.
+        head_pad = offset - first * BLOCK
+        tail_end = (last + 1) * BLOCK
+        tail_pad = tail_end - (offset + len(data))
+        buf = bytearray(head_pad + len(data) + tail_pad)
+        if head_pad:
+            db = inode.map_block(first)
+            old = yield from self.device.read_blocks(db, 1)
+            buf[:BLOCK] = old
+        if tail_pad and last != first:
+            db = inode.map_block(last)
+            old = yield from self.device.read_blocks(db, 1)
+            buf[-BLOCK:] = old
+        buf[head_pad : head_pad + len(data)] = data
+        max_bio = self.params.ext4_max_bio // BLOCK
+        pos = 0
+        for _lb, db, run in self._runs_for(inode, first, last - first + 1):
+            done = 0
+            while done < run:
+                n = min(max_bio, run - done)
+                chunk = bytes(buf[pos + done * BLOCK : pos + (done + n) * BLOCK])
+                yield from self.device.write_blocks(db + done, chunk)
+                done += n
+            pos += run * BLOCK
+
+    def _write_buffered(
+        self, inode: DiskInode, offset: int, data: bytes
+    ) -> Generator[Event, None, None]:
+        first = offset // BLOCK
+        last = (offset + len(data) - 1) // BLOCK
+        for lb in range(first, last + 1):
+            bstart = lb * BLOCK
+            lo = max(offset, bstart)
+            hi = min(offset + len(data), bstart + BLOCK)
+            chunk = data[lo - offset : hi - offset]
+            if hi - lo == BLOCK:
+                page = bytes(chunk)
+            else:
+                page_old = self.cache.get(inode.ino, lb)
+                if page_old is None:
+                    db = inode.map_block(lb)
+                    page_old = (
+                        (yield from self.device.read_blocks(db, 1)) if db is not None else bytes(BLOCK)
+                    )
+                buf = bytearray(page_old.ljust(BLOCK, b"\0"))
+                buf[lo - bstart : hi - bstart] = chunk
+                page = bytes(buf)
+            yield from self.cache.put(inode.ino, lb, page, dirty=True)
+            yield from self.host_cpu.execute(self.params.host_copy_per_4k, tag="ext4")
+
+    # ------------------------------------------------------------------ directories
+    def _dir_raw(self, inode: DiskInode) -> Generator[Event, None, bytearray]:
+        if inode.size == 0:
+            return bytearray()
+        nblocks = (inode.size + BLOCK - 1) // BLOCK
+        return (yield from self._read_buffered(inode, 0, nblocks))
+
+    @staticmethod
+    def _dir_entries(raw: bytes, size: int) -> list[tuple[int, bytes, int]]:
+        """Parse dirents -> (ino, name, record offset); tombstones skipped."""
+        out = []
+        pos = 0
+        while pos + _DIRENT.size <= size:
+            ino, nlen = _DIRENT.unpack_from(raw, pos)
+            if nlen == 0:
+                break
+            name = bytes(raw[pos + _DIRENT.size : pos + _DIRENT.size + nlen])
+            if ino != 0:
+                out.append((ino, name, pos))
+            pos += _DIRENT.size + nlen
+        return out
+
+    def _dir_append(
+        self, tx, d_inode: DiskInode, ino: int, name: bytes
+    ) -> Generator[Event, None, None]:
+        rec = _DIRENT.pack(ino, len(name)) + name
+        pos = d_inode.size
+        # Keep records within one block: skip to the next block if needed.
+        if pos // BLOCK != (pos + len(rec) - 1) // BLOCK:
+            pos = ((pos // BLOCK) + 1) * BLOCK
+        lb = pos // BLOCK
+        yield from self._ensure_blocks(tx, d_inode, lb, 1)
+        raw = yield from self._dir_raw(d_inode)
+        raw = raw.ljust((lb + 1) * BLOCK, b"\0")
+        raw[pos : pos + len(rec)] = rec
+        d_inode.size = pos + len(rec)
+        self._journal_inode(tx, d_inode)
+        # Journal the affected directory block.
+        tx.log_block(d_inode.map_block(lb), bytes(raw[lb * BLOCK : (lb + 1) * BLOCK]))
+        yield from self.cache.put(
+            d_inode.ino, lb, bytes(raw[lb * BLOCK : (lb + 1) * BLOCK]), dirty=False
+        )
+
+    def _dir_tombstone(
+        self, tx, d_inode: DiskInode, rec_off: int
+    ) -> Generator[Event, None, None]:
+        raw = yield from self._dir_raw(d_inode)
+        _ino, nlen = _DIRENT.unpack_from(raw, rec_off)
+        raw[rec_off : rec_off + 8] = b"\0" * 8  # ino = 0 -> tombstone
+        lb = rec_off // BLOCK
+        tx.log_block(d_inode.map_block(lb), bytes(raw[lb * BLOCK : (lb + 1) * BLOCK]))
+        yield from self.cache.put(
+            d_inode.ino, lb, bytes(raw[lb * BLOCK : (lb + 1) * BLOCK]), dirty=False
+        )
+
+    # ------------------------------------------------------------------ namespace ops
+    def lookup(self, p_ino: int, name: bytes) -> Generator[Event, None, DiskInode]:
+        self._begin()
+        try:
+            yield from self._charge(0.4)
+            parent = yield from self._get_inode(p_ino)
+            if not parent.is_dir:
+                raise Ext4Error(Errno.ENOTDIR)
+            raw = yield from self._dir_raw(parent)
+            for ino, ename, _off in self._dir_entries(raw, parent.size):
+                if ename == name:
+                    return (yield from self._get_inode(ino))
+            raise Ext4Error(Errno.ENOENT, name.decode(errors="replace"))
+        finally:
+            self._end()
+
+    def _create_node(
+        self, p_ino: int, name: bytes, mode: int, nlink: int
+    ) -> Generator[Event, None, DiskInode]:
+        parent = yield from self._get_inode(p_ino)
+        if not parent.is_dir:
+            raise Ext4Error(Errno.ENOTDIR)
+        raw = yield from self._dir_raw(parent)
+        if any(n == name for _i, n, _o in self._dir_entries(raw, parent.size)):
+            raise Ext4Error(Errno.EEXIST, name.decode(errors="replace"))
+        ino = self._alloc_ino()
+        now = int(self.env.now * 1e6)
+        inode = DiskInode(ino, mode=mode, nlink=nlink, mtime=now, ctime=now)
+        self._icache[ino] = inode
+        tx = self.journal.begin()
+        self._journal_inode(tx, inode)
+        yield from self._dir_append(tx, parent, ino, name)
+        yield from self.journal.commit(tx)
+        return inode
+
+    def create(
+        self, p_ino: int, name: bytes, mode: int = 0o644
+    ) -> Generator[Event, None, DiskInode]:
+        self._begin()
+        try:
+            yield from self._charge()
+            return (yield from self._create_node(p_ino, name, S_IFREG | (mode & 0o7777), 1))
+        finally:
+            self._end()
+
+    def mkdir(
+        self, p_ino: int, name: bytes, mode: int = 0o755
+    ) -> Generator[Event, None, DiskInode]:
+        self._begin()
+        try:
+            yield from self._charge()
+            return (yield from self._create_node(p_ino, name, S_IFDIR | (mode & 0o7777), 2))
+        finally:
+            self._end()
+
+    def readdir(self, ino: int) -> Generator[Event, None, list[tuple[bytes, int]]]:
+        self._begin()
+        try:
+            yield from self._charge(0.5)
+            inode = yield from self._get_inode(ino)
+            if not inode.is_dir:
+                raise Ext4Error(Errno.ENOTDIR)
+            raw = yield from self._dir_raw(inode)
+            return [(n, i) for i, n, _o in self._dir_entries(raw, inode.size)]
+        finally:
+            self._end()
+
+    def stat(self, ino: int) -> Generator[Event, None, DiskInode]:
+        self._begin()
+        try:
+            yield from self._charge(0.2)
+            return (yield from self._get_inode(ino))
+        finally:
+            self._end()
+
+    def unlink(self, p_ino: int, name: bytes) -> Generator[Event, None, None]:
+        self._begin()
+        try:
+            yield from self._charge()
+            parent = yield from self._get_inode(p_ino)
+            raw = yield from self._dir_raw(parent)
+            for ino, ename, off in self._dir_entries(raw, parent.size):
+                if ename == name:
+                    inode = yield from self._get_inode(ino)
+                    if inode.is_dir:
+                        raise Ext4Error(Errno.EISDIR, "use rmdir")
+                    tx = self.journal.begin()
+                    yield from self._dir_tombstone(tx, parent, off)
+                    inode.nlink -= 1
+                    if inode.nlink == 0:
+                        self.alloc.free_extents(inode.disk_extents())
+                        inode.extents = []
+                        inode.size = 0
+                        self.cache.invalidate_file(ino)
+                        self._free_inos.append(ino)
+                        self._icache.pop(ino, None)
+                    self._journal_inode(tx, inode)
+                    yield from self.journal.commit(tx)
+                    return
+            raise Ext4Error(Errno.ENOENT)
+        finally:
+            self._end()
+
+    def rmdir(self, p_ino: int, name: bytes) -> Generator[Event, None, None]:
+        self._begin()
+        try:
+            yield from self._charge()
+            parent = yield from self._get_inode(p_ino)
+            raw = yield from self._dir_raw(parent)
+            for ino, ename, off in self._dir_entries(raw, parent.size):
+                if ename == name:
+                    inode = yield from self._get_inode(ino)
+                    if not inode.is_dir:
+                        raise Ext4Error(Errno.ENOTDIR)
+                    d_raw = yield from self._dir_raw(inode)
+                    if self._dir_entries(d_raw, inode.size):
+                        raise Ext4Error(Errno.ENOTEMPTY)
+                    tx = self.journal.begin()
+                    yield from self._dir_tombstone(tx, parent, off)
+                    self.alloc.free_extents(inode.disk_extents())
+                    inode.extents = []
+                    inode.nlink = 0
+                    self._journal_inode(tx, inode)
+                    yield from self.journal.commit(tx)
+                    self._free_inos.append(ino)
+                    self._icache.pop(ino, None)
+                    return
+            raise Ext4Error(Errno.ENOENT)
+        finally:
+            self._end()
+
+    def rename(
+        self, p_ino: int, name: bytes, new_p_ino: int, new_name: bytes
+    ) -> Generator[Event, None, None]:
+        self._begin()
+        try:
+            yield from self._charge()
+            parent = yield from self._get_inode(p_ino)
+            raw = yield from self._dir_raw(parent)
+            src = next(
+                ((i, o) for i, n, o in self._dir_entries(raw, parent.size) if n == name),
+                None,
+            )
+            if src is None:
+                raise Ext4Error(Errno.ENOENT)
+            ino, off = src
+            new_parent = yield from self._get_inode(new_p_ino)
+            nraw = yield from self._dir_raw(new_parent)
+            tgt = next(
+                ((i, o) for i, n, o in self._dir_entries(nraw, new_parent.size) if n == new_name),
+                None,
+            )
+            tx = self.journal.begin()
+            if tgt is not None:
+                t_inode = yield from self._get_inode(tgt[0])
+                if t_inode.is_dir:
+                    t_raw = yield from self._dir_raw(t_inode)
+                    if self._dir_entries(t_raw, t_inode.size):
+                        raise Ext4Error(Errno.ENOTEMPTY)
+                else:
+                    t_inode.nlink -= 1
+                    if t_inode.nlink == 0:
+                        self.alloc.free_extents(t_inode.disk_extents())
+                        t_inode.extents = []
+                        self.cache.invalidate_file(t_inode.ino)
+                        self._free_inos.append(t_inode.ino)
+                self._journal_inode(tx, t_inode)
+                yield from self._dir_tombstone(tx, new_parent, tgt[1])
+            yield from self._dir_tombstone(tx, parent, off)
+            yield from self._dir_append(tx, new_parent, ino, new_name)
+            yield from self.journal.commit(tx)
+        finally:
+            self._end()
+
+    def truncate(self, ino: int, size: int) -> Generator[Event, None, None]:
+        self._begin()
+        try:
+            yield from self._charge()
+            inode = yield from self._get_inode(ino)
+            if inode.is_dir:
+                raise Ext4Error(Errno.EISDIR)
+            tx = self.journal.begin()
+            if size < inode.size:
+                first_dead = (size + BLOCK - 1) // BLOCK
+                freed = inode.truncate_extents(first_dead)
+                if freed:
+                    self.alloc.free_extents(freed)
+                for lb in range(first_dead, (inode.size + BLOCK - 1) // BLOCK + 1):
+                    self.cache.invalidate_page(ino, lb)
+                # Zero the tail of the surviving last block.
+                if size % BLOCK:
+                    lb = size // BLOCK
+                    db = inode.map_block(lb)
+                    if db is not None:
+                        page = self.cache.get(ino, lb)
+                        if page is None:
+                            page = yield from self.device.read_blocks(db, 1)
+                        buf = bytearray(page)
+                        buf[size % BLOCK :] = bytes(BLOCK - size % BLOCK)
+                        yield from self.cache.put(ino, lb, bytes(buf), dirty=True)
+            inode.size = size
+            inode.mtime = int(self.env.now * 1e6)
+            self._journal_inode(tx, inode)
+            yield from self.journal.commit(tx)
+        finally:
+            self._end()
+
+    def fsync(self, ino: int) -> Generator[Event, None, None]:
+        self._begin()
+        try:
+            yield from self._charge(0.5)
+            yield from self.cache.flush_file(ino)
+            yield from self.journal.checkpoint()
+        finally:
+            self._end()

@@ -1,0 +1,107 @@
+"""On-disk inodes with inline extent maps (ext4-style, 256 bytes each)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = ["DiskInode", "INODE_SIZE", "MAX_EXTENTS", "S_IFDIR", "S_IFREG", "S_IFLNK"]
+
+INODE_SIZE = 256
+#: header mode,u32 nlink,u32 size,u64 mtime,u64 ctime,u64 nextents,u32 = 36B;
+#: each extent is (file_block u32, disk_block u32, len u32) = 12B; 18 fit.
+MAX_EXTENTS = 18
+
+S_IFDIR = 0o040000
+S_IFREG = 0o100000
+S_IFLNK = 0o120000
+
+_HDR = struct.Struct("<IIQQQI")
+_EXT = struct.Struct("<III")
+
+
+@dataclass
+class DiskInode:
+    """One inode: attributes + extent map (logical block -> disk block)."""
+
+    ino: int
+    mode: int = S_IFREG | 0o644
+    nlink: int = 1
+    size: int = 0
+    mtime: int = 0
+    ctime: int = 0
+    #: sorted extents: (logical first block, disk first block, length)
+    extents: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def is_dir(self) -> bool:
+        return (self.mode & 0o170000) == S_IFDIR
+
+    # -- extent map operations -------------------------------------------------
+    def map_block(self, lblock: int) -> int | None:
+        """Logical block -> disk block, or None for a hole."""
+        for lf, df, ln in self.extents:
+            if lf <= lblock < lf + ln:
+                return df + (lblock - lf)
+        return None
+
+    def add_extent(self, lfirst: int, dfirst: int, length: int) -> None:
+        """Map [lfirst, lfirst+length) to disk [dfirst, ...)."""
+        for lf, _df, ln in self.extents:
+            if lfirst < lf + ln and lf < lfirst + length:
+                raise ValueError("overlapping extent")
+        self.extents.append((lfirst, dfirst, length))
+        self.extents.sort()
+        # Coalesce logically+physically adjacent extents.
+        merged: list[tuple[int, int, int]] = []
+        for ext in self.extents:
+            if merged:
+                lf, df, ln = merged[-1]
+                if lf + ln == ext[0] and df + ln == ext[1]:
+                    merged[-1] = (lf, df, ln + ext[2])
+                    continue
+            merged.append(ext)
+        self.extents = merged
+        if len(self.extents) > MAX_EXTENTS:
+            raise ValueError("extent map overflow (file too fragmented)")
+
+    def truncate_extents(self, first_dead_lblock: int) -> list[tuple[int, int]]:
+        """Drop mappings >= first_dead_lblock; return freed (disk, len) runs."""
+        freed: list[tuple[int, int]] = []
+        kept: list[tuple[int, int, int]] = []
+        for lf, df, ln in self.extents:
+            if lf + ln <= first_dead_lblock:
+                kept.append((lf, df, ln))
+            elif lf >= first_dead_lblock:
+                freed.append((df, ln))
+            else:
+                keep = first_dead_lblock - lf
+                kept.append((lf, df, keep))
+                freed.append((df + keep, ln - keep))
+        self.extents = kept
+        return freed
+
+    def disk_extents(self) -> list[tuple[int, int]]:
+        return [(df, ln) for _lf, df, ln in self.extents]
+
+    # -- serialisation --------------------------------------------------------------
+    def pack(self) -> bytes:
+        out = bytearray(
+            _HDR.pack(self.mode, self.nlink, self.size, self.mtime, self.ctime, len(self.extents))
+        )
+        for lf, df, ln in self.extents:
+            out += _EXT.pack(lf, df, ln)
+        if len(out) > INODE_SIZE:
+            raise ValueError("inode overflow")
+        out += b"\0" * (INODE_SIZE - len(out))
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, ino: int, raw: bytes) -> "DiskInode":
+        mode, nlink, size, mtime, ctime, next_ = _HDR.unpack_from(raw, 0)
+        extents = []
+        pos = _HDR.size
+        for _ in range(next_):
+            extents.append(_EXT.unpack_from(raw, pos))
+            pos += _EXT.size
+        return cls(ino, mode, nlink, size, mtime, ctime, [tuple(e) for e in extents])

@@ -1,0 +1,105 @@
+"""A JBD2-style physical-block journal.
+
+Metadata mutations are grouped into transactions; commit writes a descriptor
+block, the journaled metadata blocks, and a commit record sequentially into
+the journal region of the device, then the blocks are checkpointed to their
+home locations lazily.  This is where Ext4's metadata write amplification —
+and a slice of its host CPU cost — comes from.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator
+
+from ..sim.core import Environment, Event
+from ..sim.nvme_device import BLOCK, NvmeSsd
+
+__all__ = ["Journal", "Transaction"]
+
+_DESC_MAGIC = 0x4A424432  # "JBD2"
+_COMMIT_MAGIC = 0x434F4D54  # "COMT"
+
+
+class Transaction:
+    """A set of (home block, data) metadata writes committed atomically."""
+
+    def __init__(self, txid: int):
+        self.txid = txid
+        self.blocks: dict[int, bytes] = {}
+
+    def log_block(self, lba: int, data: bytes) -> None:
+        if len(data) != BLOCK:
+            raise ValueError("journaled blocks must be 4096 bytes")
+        self.blocks[lba] = data
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class Journal:
+    """Circular journal over a block range of the SSD."""
+
+    def __init__(self, env: Environment, device: NvmeSsd, first_block: int, nblocks: int):
+        if nblocks < 8:
+            raise ValueError("journal too small")
+        self.env = env
+        self.device = device
+        self.first = first_block
+        self.nblocks = nblocks
+        self._head = 0  # next journal slot (wraps)
+        self._txid = 0
+        #: blocks committed to the journal but not yet checkpointed
+        self._pending: dict[int, bytes] = {}
+        self.commits = 0
+        self.blocks_journaled = 0
+        self.checkpoints = 0
+
+    def begin(self) -> Transaction:
+        self._txid += 1
+        return Transaction(self._txid)
+
+    def _slot(self) -> int:
+        lba = self.first + (self._head % self.nblocks)
+        self._head += 1
+        return lba
+
+    def commit(self, tx: Transaction) -> Generator[Event, None, None]:
+        """Write descriptor + blocks + commit record to the journal area."""
+        if not tx.blocks:
+            return
+        # Descriptor block: magic, txid, count, then the home LBAs.
+        desc = struct.pack("<IIQ", _DESC_MAGIC, len(tx.blocks), tx.txid)
+        for lba in tx.blocks:
+            desc += struct.pack("<Q", lba)
+        yield from self.device.write_blocks(self._slot(), desc.ljust(BLOCK, b"\0"))
+        for lba, data in tx.blocks.items():
+            yield from self.device.write_blocks(self._slot(), data)
+        commit = struct.pack("<IIQ", _COMMIT_MAGIC, len(tx.blocks), tx.txid)
+        yield from self.device.write_blocks(self._slot(), commit.ljust(BLOCK, b"\0"))
+        self._pending.update(tx.blocks)
+        self.commits += 1
+        self.blocks_journaled += len(tx.blocks) + 2
+        # Checkpoint opportunistically when enough blocks accumulate.
+        if len(self._pending) >= 64:
+            yield from self.checkpoint()
+
+    def checkpoint(self) -> Generator[Event, None, None]:
+        """Write journaled blocks to their home locations."""
+        pending, self._pending = self._pending, {}
+        for lba, data in sorted(pending.items()):
+            yield from self.device.write_blocks(lba, data)
+        if pending:
+            self.checkpoints += 1
+
+    def pending_blocks(self) -> int:
+        return len(self._pending)
+
+    def read_home_block(self, lba: int) -> Generator[Event, None, bytes]:
+        """Read a metadata block honouring not-yet-checkpointed copies."""
+        if lba in self._pending:
+            # Served from the journal's in-memory shadow: no device I/O.
+            yield from ()
+            return self._pending[lba]
+        data = yield from self.device.read_blocks(lba, 1)
+        return data

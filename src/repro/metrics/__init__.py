@@ -1,0 +1,5 @@
+"""Measurement: latency recorders, rates, and printable result tables."""
+
+from .stats import LatencyRecorder, ResultTable, fmt_gbps, fmt_iops, fmt_us
+
+__all__ = ["LatencyRecorder", "ResultTable", "fmt_gbps", "fmt_iops", "fmt_us"]

@@ -1,0 +1,5 @@
+"""Wire protocols: the nvme-fs offload protocol and the virtio-fs baseline."""
+
+from .filemsg import Errno, FileAttr, FileOp, FileRequest, FileResponse
+
+__all__ = ["Errno", "FileAttr", "FileOp", "FileRequest", "FileResponse"]

@@ -1,0 +1,16 @@
+"""nvme-fs: the NVMe-based file protocol for DPU-offloaded file stacks."""
+
+from .ini import NvmeFsInitiator
+from .queues import NvmeQueuePair
+from .sqe import Cqe, NVMEFS_OPCODE, ReqType, Sqe
+from .tgt import NvmeFsTarget
+
+__all__ = [
+    "NvmeFsInitiator",
+    "NvmeQueuePair",
+    "Cqe",
+    "NVMEFS_OPCODE",
+    "ReqType",
+    "Sqe",
+    "NvmeFsTarget",
+]

@@ -1,0 +1,70 @@
+"""NVMe queue-pair state shared between the NVME-INI and NVME-TGT drivers.
+
+A queue pair is a submission ring and a completion ring, both resident in
+host memory (allocated from the host arena) exactly as in real NVMe: the
+host *produces* SQEs at the SQ tail and *consumes* CQEs at the CQ head; the
+device (DPU) consumes SQEs at the SQ head and produces CQEs at the CQ tail
+(paper §3.2's producer-consumer description).
+
+Doorbells and interrupts are modeled as :class:`Store` mailboxes: a doorbell
+write costs one posted MMIO transaction on the PCIe link and wakes the DPU
+worker; a completion raises an "interrupt" mailbox entry that wakes the host
+completion handler.  This keeps the simulation event-driven (no poll loops)
+while preserving transaction counts.
+"""
+
+from __future__ import annotations
+
+from ...sim.core import Environment
+from ...sim.memory import MemoryArena
+from ...sim.resources import Resource, Store
+from .sqe import CQE_SIZE, SQE_SIZE
+
+__all__ = ["NvmeQueuePair"]
+
+
+class NvmeQueuePair:
+    """One SQ/CQ pair with rings allocated in host memory."""
+
+    def __init__(self, env: Environment, arena: MemoryArena, qid: int, depth: int):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.env = env
+        self.arena = arena
+        self.qid = qid
+        self.depth = depth
+        self.sq_base = arena.alloc(depth * SQE_SIZE, align=64)
+        self.cq_base = arena.alloc(depth * CQE_SIZE, align=64)
+        # Host-side cursors.
+        self.host_sq_tail = 0
+        self.host_cq_head = 0
+        # Device-side cursors.
+        self.dpu_sq_head = 0
+        self.dpu_cq_tail = 0
+        #: limits in-flight commands to the queue depth
+        self.slots = Resource(env, depth)
+        #: host -> DPU doorbell notifications (new SQ tail values)
+        self.sq_doorbell: Store = Store(env)
+        #: DPU -> host completion interrupts (CQ slot indexes)
+        self.cq_irq: Store = Store(env)
+        #: cid -> host event waiting for that command's completion
+        self.pending: dict[int, object] = {}
+        self._next_cid = 0
+        self.submitted = 0
+        self.completed = 0
+
+    def sqe_addr(self, index: int) -> int:
+        return self.sq_base + (index % self.depth) * SQE_SIZE
+
+    def cqe_addr(self, index: int) -> int:
+        return self.cq_base + (index % self.depth) * CQE_SIZE
+
+    def alloc_cid(self) -> int:
+        # CIDs are 16-bit; with depth-bounded in-flight commands a simple
+        # wrap-around counter never collides.
+        cid = self._next_cid
+        self._next_cid = (self._next_cid + 1) & 0xFFFF
+        while cid in self.pending:  # pragma: no cover - depth >= 65536 only
+            cid = self._next_cid
+            self._next_cid = (self._next_cid + 1) & 0xFFFF
+        return cid

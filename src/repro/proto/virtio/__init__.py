@@ -1,0 +1,16 @@
+"""virtio-fs + FUSE transport: the DPFS baseline data path."""
+
+from .fuse import FUSE_MAX_TRANSFER, FuseInHeader, FuseOp, FuseOutHeader
+from .virtiofs import DpfsHal, VirtioFsHost
+from .vring import Descriptor, VRing
+
+__all__ = [
+    "FUSE_MAX_TRANSFER",
+    "FuseInHeader",
+    "FuseOp",
+    "FuseOutHeader",
+    "DpfsHal",
+    "VirtioFsHost",
+    "Descriptor",
+    "VRing",
+]

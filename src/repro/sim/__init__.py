@@ -1,0 +1,47 @@
+"""Simulation substrate: DES kernel, memory, PCIe, CPUs, devices, network.
+
+This package is the "hardware" of the reproduction: everything the paper ran
+on a Xeon host + Huawei QingTian DPU + NVMe SSD + RDMA fabric runs here on a
+simulated clock with costed transactions (see DESIGN.md §1).
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .cpu import CpuPool
+from .memory import MemoryArena, OutOfMemory
+from .network import Fabric, Message, RpcEndpoint
+from .nvme_device import NvmeSsd
+from .pcie import DmaStats, PcieLink
+from .resources import Request, Resource, Store, TokenBucket
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "CpuPool",
+    "MemoryArena",
+    "OutOfMemory",
+    "Fabric",
+    "Message",
+    "RpcEndpoint",
+    "NvmeSsd",
+    "DmaStats",
+    "PcieLink",
+    "Request",
+    "Resource",
+    "Store",
+    "TokenBucket",
+]

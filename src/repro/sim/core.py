@@ -1,0 +1,412 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based DES in the style of SimPy.  Every
+component of the DPC reproduction (drivers, caches, file systems, servers) is
+written as a *process*: a Python generator that yields :class:`Event` objects
+and is resumed when those events fire.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**; typical event scales in this package
+  are microseconds (``2e-5``), well within double precision.
+* The event queue is a binary heap ordered by ``(time, priority, seq)``.
+  ``seq`` is a monotonically increasing counter, which makes simulations
+  fully deterministic: two runs with the same seeds produce identical event
+  orderings and therefore identical results.
+* Failure propagation mirrors SimPy: a failed event re-raises inside the
+  waiting process via ``generator.throw``; a process that fails with nobody
+  waiting on it aborts the simulation (silent loss of errors is the classic
+  DES debugging trap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+]
+
+#: Event priorities.  URGENT is used for resource hand-off so that a released
+#: resource is re-granted before same-timestamp timeouts observe it free.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event has three observable states: *pending* (created, not triggered),
+    *triggered* (scheduled on the event queue with a value or an exception),
+    and *processed* (its callbacks have run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed; waiters will see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self, 0.0, priority)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay, PRIORITY_NORMAL)
+
+
+class _Initialize(Event):
+    """Internal: kicks a freshly created process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._ok = True
+        self._value = None
+        env._schedule(self, 0.0, PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The event's value is the generator's return value (``StopIteration``
+    value).  If the generator raises, the process event fails with that
+    exception, propagating to any process waiting on it; if *nothing* waits
+    on it, :meth:`Environment.step` re-raises to abort the simulation.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._triggered = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume_interrupt)
+        self.env._schedule(event, 0.0, PRIORITY_URGENT)
+
+    # -- resume machinery ----------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return  # process finished before the interrupt was delivered
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        env = self.env
+        env._active = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active = None
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self, 0.0, PRIORITY_NORMAL)
+            return
+        except BaseException as exc:
+            env._active = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            env._schedule(self, 0.0, PRIORITY_NORMAL)
+            return
+        env._active = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}; processes must yield Event"
+            )
+        if result._processed:
+            # Already fired: resume at the current time via a proxy event so
+            # ordering stays heap-driven.
+            proxy = Event(env)
+            proxy._triggered = True
+            proxy._ok = result._ok
+            proxy._value = result._value
+            proxy.callbacks.append(self._resume)
+            env._schedule(proxy, 0.0, PRIORITY_URGENT)
+            self._target = result
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev._processed:
+                self._check(ev)
+            elif ev._triggered:
+                # Triggered but callbacks not yet run: still safe to append.
+                ev.callbacks.append(self._check)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every sub-event has fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first sub-event fires; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation world: clock, event queue, and process registry."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories --------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.
+
+        A :class:`Process` that terminated with an exception and has no
+        waiter re-raises here: errors never vanish silently.
+        """
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        had_waiters = bool(event.callbacks)
+        event._run_callbacks()
+        if isinstance(event, Process) and not event._ok and not had_waiters:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is ``None``: run until the event queue drains.
+        * ``until`` is a number: run until the clock reaches it.
+        * ``until`` is an :class:`Event`: run until that event fires and
+          return its value (re-raising its exception on failure).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                break
+            if self._queue[0][0] > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event._triggered:
+                raise SimulationError("simulation ended before the awaited event fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        return None

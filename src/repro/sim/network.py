@@ -1,0 +1,125 @@
+"""RDMA-like datacenter fabric.
+
+Connects the DPU (and, for the host-side baselines, the host) to the
+disaggregated KV store and the DFS servers.  The model is a full-bisection
+fabric: each endpoint has an ingress and an egress NIC pipe (bandwidth), and
+every message pays a one-way propagation+switching latency.
+
+An :class:`RpcEndpoint` couples a request :class:`Store` with a node name so
+services (MDS, data server, KV shard) can be written as plain consumer
+processes.  ``Fabric.rpc`` is the client-side helper that sends a request,
+waits for the service to reply, and returns the response payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from .core import Environment, Event
+from .resources import Store, TokenBucket
+
+__all__ = ["Fabric", "RpcEndpoint", "Message"]
+
+
+@dataclass
+class Message:
+    """A fabric message: opaque payload plus a reply mailbox."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    reply_to: Optional[Store] = None
+
+
+class RpcEndpoint:
+    """A named service attachment point: a request queue plus NIC pipes."""
+
+    def __init__(self, env: Environment, name: str, bandwidth: float):
+        self.env = env
+        self.name = name
+        self.inbox: Store = Store(env)
+        self.tx = TokenBucket(env, bandwidth, name=f"{name}-tx")
+        self.rx = TokenBucket(env, bandwidth, name=f"{name}-rx")
+        self.messages_in = 0
+        self.messages_out = 0
+
+
+class Fabric:
+    """The switched network: registry of endpoints + latency model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float = 4e-6,
+        default_bandwidth: float = 12.5e9,
+    ):
+        self.env = env
+        self.latency = latency
+        self.default_bandwidth = default_bandwidth
+        self.endpoints: dict[str, RpcEndpoint] = {}
+
+    def attach(self, name: str, bandwidth: Optional[float] = None) -> RpcEndpoint:
+        if name in self.endpoints:
+            raise ValueError(f"endpoint {name!r} already attached")
+        ep = RpcEndpoint(self.env, name, bandwidth or self.default_bandwidth)
+        self.endpoints[name] = ep
+        return ep
+
+    def endpoint(self, name: str) -> RpcEndpoint:
+        return self.endpoints[name]
+
+    # -- one-way send -----------------------------------------------------------
+    def send(
+        self, src: str, dst: str, payload: Any, size: int, reply_to: Optional[Store] = None
+    ) -> Generator[Event, None, None]:
+        """Transmit a message; completes when it lands in ``dst``'s inbox."""
+        sep = self.endpoints[src]
+        dep = self.endpoints[dst]
+        sep.messages_out += 1
+        # Serialise onto the sender's egress pipe, cross the fabric, then the
+        # receiver's ingress pipe.
+        yield sep.tx.transfer(size)
+        yield self.env.timeout(self.latency)
+        yield dep.rx.transfer(size)
+        dep.messages_in += 1
+        yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
+
+    # -- request/response -----------------------------------------------------
+    def rpc(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        req_size: int,
+        resp_wait: bool = True,
+    ) -> Generator[Event, None, Any]:
+        """Send ``payload`` to ``dst`` and wait for the service's reply.
+
+        The service must call :meth:`reply` with the originating message.
+        Returns the reply payload.
+        """
+        mailbox: Store = Store(self.env)
+        yield from self.send(src, dst, payload, req_size, reply_to=mailbox)
+        if not resp_wait:
+            return None
+        got = mailbox.get()
+        yield got
+        return got.value
+
+    def reply(
+        self, msg: Message, payload: Any, size: int
+    ) -> Generator[Event, None, None]:
+        """Service-side: answer an RPC message."""
+        if msg.reply_to is None:
+            raise ValueError("message carries no reply mailbox")
+        sep = self.endpoints[msg.dst]
+        rep = self.endpoints.get(msg.src)
+        sep.messages_out += 1
+        yield sep.tx.transfer(size)
+        yield self.env.timeout(self.latency)
+        if rep is not None:
+            yield rep.rx.transfer(size)
+            rep.messages_in += 1
+        yield msg.reply_to.put(payload)

@@ -1,0 +1,15 @@
+"""fio/vdbench-style workload generation (paper Table 1 tooling)."""
+
+from .runner import ClientTarget, JobResult, JobSpec, VfsFileTarget, run_job
+from .vdbench import VdbenchConfig, parse as parse_vdbench, parse_size
+
+__all__ = [
+    "ClientTarget",
+    "JobResult",
+    "JobSpec",
+    "VfsFileTarget",
+    "run_job",
+    "VdbenchConfig",
+    "parse_vdbench",
+    "parse_size",
+]

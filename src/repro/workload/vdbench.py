@@ -1,0 +1,127 @@
+"""A vdbench-flavoured job description language (paper Table 1 lists
+vdbench 3.28 as one of its two load generators).
+
+Supports the small, storage-definition-free subset the paper's experiments
+need: workload definitions (WDs) and run definitions (RDs)::
+
+    wd=wd1,rdpct=70,xfersize=8k,seekpct=100
+    rd=run1,wd=wd1,threads=32,iorate=max,elapsed=...,interval=...
+
+``parse`` turns such text into :class:`JobSpec` objects for the runner;
+unknown keys are ignored the way vdbench tolerates extra parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .runner import JobSpec
+
+__all__ = ["VdbenchConfig", "parse", "parse_size"]
+
+_SIZE = re.compile(r"^(\d+(?:\.\d+)?)([kmg]?)$", re.IGNORECASE)
+
+
+def parse_size(text: str) -> int:
+    """'8k' -> 8192, '1m' -> 1048576, '512' -> 512."""
+    m = _SIZE.match(text.strip())
+    if not m:
+        raise ValueError(f"bad size {text!r}")
+    value = float(m.group(1))
+    mult = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3}[m.group(2).lower()]
+    return int(value * mult)
+
+
+@dataclass
+class _Wd:
+    name: str
+    rdpct: float = 100.0  # % reads
+    xfersize: int = 8192
+    seekpct: float = 100.0  # 100 = fully random, 0 = sequential
+
+
+@dataclass
+class VdbenchConfig:
+    """Parsed workload + run definitions."""
+
+    wds: dict
+    rds: list
+
+    def jobs(
+        self,
+        file_size: int = 64 * 1024 * 1024,
+        ops_per_thread: int = 50,
+        seed: int = 42,
+    ) -> list[JobSpec]:
+        """Materialise every RD into a JobSpec."""
+        out = []
+        for rd in self.rds:
+            wd = self.wds[rd["wd"]]
+            if wd.seekpct >= 50:
+                if wd.rdpct >= 100:
+                    mode = "randread"
+                elif wd.rdpct <= 0:
+                    mode = "randwrite"
+                else:
+                    mode = "randrw"
+            else:
+                mode = "seqread" if wd.rdpct >= 50 else "seqwrite"
+            out.append(
+                JobSpec(
+                    name=rd["name"],
+                    mode=mode,
+                    block_size=wd.xfersize,
+                    nthreads=rd.get("threads", 1),
+                    ops_per_thread=ops_per_thread,
+                    file_size=file_size,
+                    read_fraction=wd.rdpct / 100.0,
+                    seed=seed,
+                )
+            )
+        return out
+
+
+def _kv_pairs(line: str) -> dict:
+    out = {}
+    for part in line.split(","):
+        if "=" not in part:
+            continue
+        k, v = part.split("=", 1)
+        out[k.strip().lower()] = v.strip()
+    return out
+
+
+def parse(text: str) -> VdbenchConfig:
+    """Parse a vdbench-style config (wd=/rd= lines; '#' comments)."""
+    wds: dict = {}
+    rds: list = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        kv = _kv_pairs(line)
+        if "wd" in kv and "rd" not in kv:
+            wd = _Wd(name=kv["wd"])
+            if "rdpct" in kv:
+                wd.rdpct = float(kv["rdpct"])
+            if "xfersize" in kv:
+                wd.xfersize = parse_size(kv["xfersize"])
+            if "seekpct" in kv:
+                wd.seekpct = float(kv["seekpct"])
+            wds[wd.name] = wd
+        elif "rd" in kv:
+            if "wd" not in kv:
+                raise ValueError(f"rd without wd reference: {line!r}")
+            if kv["wd"] not in wds:
+                raise ValueError(f"rd references unknown wd {kv['wd']!r}")
+            rd = {"name": kv["rd"], "wd": kv["wd"]}
+            if "threads" in kv:
+                rd["threads"] = int(kv["threads"])
+            rds.append(rd)
+        else:
+            raise ValueError(f"unparseable vdbench line: {line!r}")
+    if not rds:
+        raise ValueError("config defines no run definitions (rd=)")
+    return VdbenchConfig(wds, rds)

@@ -1,0 +1,316 @@
+"""DFS integration tests: MDS, data servers, EC stripes, all three clients."""
+
+import pytest
+
+from repro.dfs import (
+    DFS_ROOT_INO,
+    DfsError,
+    OffloadedDfsClient,
+    StandardNfsClient,
+    build_dfs,
+)
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.network import Fabric
+
+
+def build(params=None):
+    env = Environment()
+    p = params or default_params()
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    mds, dataservers, layout = build_dfs(env, fabric, p)
+    host_cpu = CpuPool(env, p.host_cores, switch_cost=p.host_switch_cost)
+    dpu_cpu = CpuPool(env, p.dpu_cores, perf=p.dpu_perf, switch_cost=p.dpu_switch_cost)
+    fabric.attach("std-client")
+    fabric.attach("opt-client")
+    fabric.attach("dpc-client")
+    std = StandardNfsClient(env, fabric, "std-client", p.n_mds, host_cpu, p)
+    opt = OffloadedDfsClient(
+        env, fabric, "opt-client", p.n_mds, layout, host_cpu, p,
+        cpu_read=p.opt_client_cpu_read, cpu_write=p.opt_client_cpu_write,
+    )
+    dpc = OffloadedDfsClient(
+        env, fabric, "dpc-client", p.n_mds, layout, dpu_cpu, p,
+        cpu_read=p.dpc_dfs_cpu_read, cpu_write=p.dpc_dfs_cpu_write,
+        ec_scale=0.3, cpu_tag="dpc-dfs",
+    )
+    return env, p, fabric, mds, dataservers, layout, std, opt, dpc
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+# ---------------------------------------------------------------- standard client
+def test_std_create_lookup_getattr():
+    env, *_, std, _opt, _dpc = build()
+
+    def flow():
+        attr = yield from std.create(DFS_ROOT_INO, b"file")
+        found = yield from std.lookup(DFS_ROOT_INO, b"file")
+        st = yield from std.getattr(attr.ino)
+        return attr.ino, found.ino, st.ino
+
+    a, b, c = run(env, flow())
+    assert a == b == c
+
+
+def test_std_duplicate_create_error():
+    env, *_, std, _o, _d = build()
+
+    def flow():
+        yield from std.create(DFS_ROOT_INO, b"dup")
+        try:
+            yield from std.create(DFS_ROOT_INO, b"dup")
+        except DfsError as e:
+            return str(e)
+
+    assert run(env, flow()) == "EEXIST"
+
+
+def test_std_write_read_roundtrip():
+    env, *_, std, _o, _d = build()
+
+    def flow():
+        attr = yield from std.create(DFS_ROOT_INO, b"data")
+        payload = bytes(range(256)) * 64  # 16 KiB
+        yield from std.write(attr.ino, 0, payload)
+        got = yield from std.read(attr.ino, 0, len(payload))
+        return payload, got
+
+    payload, got = run(env, flow())
+    assert got == payload
+
+
+def test_std_write_is_erasure_coded_on_servers():
+    env, p, _f, _m, dataservers, layout, std, _o, _d = build()
+
+    def flow():
+        attr = yield from std.create(DFS_ROOT_INO, b"ec")
+        yield from std.write(attr.ino, 0, b"E" * layout.stripe_size)
+        return attr.ino
+
+    ino = run(env, flow())
+    # Every shard of stripe 0, including parity, must exist on its server.
+    pl = layout.placement(ino, 0)
+    for loc in pl.shards:
+        assert pl and dataservers[loc.server].units.get(loc.key) is not None
+
+
+def test_std_unlink():
+    env, *_, std, _o, _d = build()
+
+    def flow():
+        yield from std.create(DFS_ROOT_INO, b"gone")
+        yield from std.unlink(DFS_ROOT_INO, b"gone")
+        return (yield from std.lookup(DFS_ROOT_INO, b"gone"))
+
+    assert run(env, flow()) is None
+
+
+def test_std_readdir():
+    env, *_, std, _o, _d = build()
+
+    def flow():
+        for n in [b"c", b"a", b"b"]:
+            yield from std.create(DFS_ROOT_INO, n)
+        return (yield from std.readdir(DFS_ROOT_INO))
+
+    entries = run(env, flow())
+    assert [n for n, _ in entries] == [b"a", b"b", b"c"]
+
+
+def test_forwarding_happens_for_standard_client():
+    """The entry MDS forwards ops whose home is elsewhere."""
+    env, p, _f, mds, *_ , std, _o, _d = build()
+
+    def flow():
+        for i in range(12):
+            yield from std.create(DFS_ROOT_INO, f"f{i}".encode())
+            # getattr on inos homed across all MDSes forces forwards
+        for ino in range(1, 9):
+            yield from std.getattr(ino)
+
+    run(env, flow())
+    assert mds.total_forwards() > 0
+
+
+# ---------------------------------------------------------------- optimized client
+def test_opt_no_forwarding_with_metadata_view():
+    env, p, _f, mds, *_ , _s, opt, _d = build()
+
+    def flow():
+        for i in range(8):
+            attr = yield from opt.create(DFS_ROOT_INO, f"v{i}".encode())
+            yield from opt.getattr(attr.ino)
+        yield from opt.flush_metadata()
+
+    run(env, flow())
+    assert mds.total_forwards() == 0
+
+
+def test_opt_write_read_roundtrip_direct():
+    env, *_, _s, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"dio")
+        payload = b"direct-io" * 5000  # 45 KB, crosses stripes
+        yield from opt.write(attr.ino, 0, payload)
+        got = yield from opt.read(attr.ino, 0, len(payload))
+        return payload, got
+
+    payload, got = run(env, flow())
+    assert got == payload
+
+
+def test_opt_partial_stripe_write_updates_parity():
+    env, p, _f, _m, dataservers, layout, _s, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"rmw")
+        yield from opt.write(attr.ino, 0, b"A" * layout.stripe_size)
+        # Overwrite one 8K unit in the middle.
+        yield from opt.write(attr.ino, layout.stripe_unit, b"B" * layout.stripe_unit)
+        return attr.ino
+
+    ino = run(env, flow())
+    # Reconstructing from parity must give the updated data.
+    pl = layout.placement(ino, 0)
+    units = [dataservers[loc.server].units[loc.key] for loc in pl.shards]
+    units[1] = None  # kill the updated data unit
+    recovered = layout.decode_stripe(units)
+    expected = (
+        b"A" * layout.stripe_unit + b"B" * layout.stripe_unit + b"A" * 2 * layout.stripe_unit
+    )
+    assert recovered == expected
+
+
+def test_opt_and_std_see_same_files():
+    """Both clients address the same backend."""
+    env, *_, std, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"shared")
+        yield from opt.write(attr.ino, 0, b"written by opt")
+        yield from opt.flush_metadata()
+        found = yield from std.lookup(DFS_ROOT_INO, b"shared")
+        data = yield from std.read(found.ino, 0, 14)
+        return data
+
+    assert run(env, flow()) == b"written by opt"
+
+
+def test_opt_delegated_creates_are_batched():
+    env, p, _f, mds, *_, _s, opt, _d = build()
+
+    def flow():
+        for i in range(10):
+            yield from opt.create(DFS_ROOT_INO, f"batch{i}".encode())
+        # Fewer than 10 MDS RPCs so far (one delegation acquire).
+        served_before_flush = mds.total_ops()
+        yield from opt.flush_metadata()
+        entries = yield from opt.readdir(DFS_ROOT_INO)
+        return served_before_flush, entries
+
+    served, entries = run(env, flow())
+    assert served <= 2  # deleg acquire (+possibly nothing else)
+    assert len(entries) == 10
+    assert opt.deleg_hits >= 10
+
+
+def test_opt_lazy_size_updates_reach_mds_on_flush():
+    env, *_, std, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"lazy")
+        yield from opt.write(attr.ino, 0, b"z" * 10000)
+        yield from opt.flush_metadata()
+        st = yield from std.getattr(attr.ino)
+        return st.size
+
+    assert run(env, flow()) == 10000
+
+
+def test_opt_file_delegation_caching():
+    env, *_, _s, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"locked")
+        ok1 = yield from opt.acquire_file_delegation(attr.ino)
+        hits_before = opt.deleg_hits
+        ok2 = yield from opt.acquire_file_delegation(attr.ino)
+        return ok1, ok2, opt.deleg_hits - hits_before
+
+    ok1, ok2, extra_hits = run(env, flow())
+    assert ok1 and ok2 and extra_hits == 1
+
+
+def test_delegation_conflict_denied():
+    env, p, fabric, _m, _ds, layout, _s, opt, dpc = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"contested")
+        yield from opt.flush_metadata()
+        ok_opt = yield from opt.acquire_file_delegation(attr.ino)
+        ok_dpc = yield from dpc.acquire_file_delegation(attr.ino)
+        return ok_opt, ok_dpc
+
+    ok_opt, ok_dpc = run(env, flow())
+    assert ok_opt is True and ok_dpc is False
+
+
+# ---------------------------------------------------------------- degraded reads
+def test_degraded_read_survives_two_dead_servers():
+    env, p, _f, _m, dataservers, layout, _s, opt, _d = build()
+
+    def flow():
+        attr = yield from opt.create(DFS_ROOT_INO, b"resilient")
+        payload = bytes(range(256)) * (layout.stripe_size // 256)
+        yield from opt.write(attr.ino, 0, payload)
+        pl = layout.placement(attr.ino, 0)
+        dead = {pl.shards[0].server, pl.shards[2].server}
+        data = yield from opt.stripeio.read_degraded(attr.ino, 0, dead)
+        return payload, data
+
+    payload, data = run(env, flow())
+    assert data == payload
+
+
+# ---------------------------------------------------------------- performance shape
+def test_opt_client_faster_but_hungrier_than_std():
+    """Figure 1's motivation: ~4x IOPS at many-x CPU."""
+    p = default_params()
+
+    def bench(client_kind, threads=32, ops=6):
+        env, _p, _f, _m, _ds, _lay, std, opt, _dpc = build()
+        client = std if client_kind == "std" else opt
+        done = []
+
+        def prep():
+            attr = yield from client.create(DFS_ROOT_INO, b"bigfile")
+            yield from client.write(attr.ino, 0, b"P" * (1 << 20))
+            return attr.ino
+
+        ino = run(env, prep())
+        cpu = client.cpu if client_kind == "opt" else std.cpu
+        cpu.begin_window()
+        t0 = env.now
+
+        def worker(i):
+            for j in range(ops):
+                off = ((i * 7919 + j * 104729) % 128) * 8192
+                yield from client.write(ino, off, b"w" * 8192)
+            done.append(i)
+
+        for i in range(threads):
+            env.process(worker(i))
+        env.run()
+        iops = threads * ops / (env.now - t0)
+        cores = cpu.window_cores_used()
+        return iops, cores
+
+    std_iops, std_cores = bench("std")
+    opt_iops, opt_cores = bench("opt")
+    assert opt_iops / std_iops > 2.0
+    assert opt_cores / max(std_cores, 1e-9) > 3.0

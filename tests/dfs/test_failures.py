@@ -1,0 +1,152 @@
+"""Failure injection: data-server crashes, degraded reads/writes, limits."""
+
+import pytest
+
+from repro.dfs import DFS_ROOT_INO, StorageUnavailable, build_dfs
+from repro.dfs.clients import OffloadedDfsClient
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.network import Fabric
+
+
+def build():
+    env = Environment()
+    p = default_params()
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    mds, dataservers, layout = build_dfs(env, fabric, p)
+    cpu = CpuPool(env, p.host_cores, switch_cost=0)
+    fabric.attach("client")
+    client = OffloadedDfsClient(
+        env, fabric, "client", p.n_mds, layout, cpu, p,
+        cpu_read=p.opt_client_cpu_read, cpu_write=p.opt_client_cpu_write,
+    )
+    return env, dataservers, layout, client
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def make_file(env, client, payload):
+    def prep():
+        attr = yield from client.create(DFS_ROOT_INO, b"victim")
+        yield from client.write(attr.ino, 0, payload)
+        return attr.ino
+
+    return run(env, prep())
+
+
+def test_read_survives_one_dead_server():
+    env, dataservers, layout, client = build()
+    payload = bytes(range(256)) * (2 * layout.stripe_size // 256)
+    ino = make_file(env, client, payload)
+    # Kill the server holding stripe 0's first data unit.
+    loc = layout.placement(ino, 0).shards[0]
+    dataservers[loc.server].fail()
+
+    def flow():
+        return (yield from client.read(ino, 0, len(payload)))
+
+    assert run(env, flow()) == payload
+
+
+def test_read_survives_m_dead_servers():
+    env, dataservers, layout, client = build()
+    payload = b"\x77" * layout.stripe_size
+    ino = make_file(env, client, payload)
+    pl = layout.placement(ino, 0)
+    dataservers[pl.shards[0].server].fail()
+    dataservers[pl.shards[3].server].fail()  # two of six (m = 2)
+
+    def flow():
+        return (yield from client.read(ino, 0, len(payload)))
+
+    assert run(env, flow()) == payload
+
+
+def test_read_fails_beyond_m_dead_servers():
+    env, dataservers, layout, client = build()
+    payload = b"\x66" * layout.stripe_size
+    ino = make_file(env, client, payload)
+    pl = layout.placement(ino, 0)
+    for i in range(3):  # three dead > m=2
+        dataservers[pl.shards[i].server].fail()
+
+    def flow():
+        try:
+            yield from client.read(ino, 0, len(payload))
+        except StorageUnavailable as e:
+            return e
+
+    assert isinstance(run(env, flow()), StorageUnavailable)
+
+
+def test_degraded_write_keeps_stripe_recoverable():
+    env, dataservers, layout, client = build()
+    payload = b"A" * layout.stripe_size
+    ino = make_file(env, client, payload)
+    pl = layout.placement(ino, 0)
+    dead = pl.shards[1].server
+    dataservers[dead].fail()
+
+    def flow():
+        # Partial-stripe write while one server is down -> degraded RMW.
+        yield from client.write(ino, layout.stripe_unit, b"B" * layout.stripe_unit)
+        # Read back with the server still down.
+        data = yield from client.read(ino, 0, layout.stripe_size)
+        return data
+
+    data = run(env, flow())
+    expected = (
+        b"A" * layout.stripe_unit + b"B" * layout.stripe_unit + b"A" * 2 * layout.stripe_unit
+    )
+    assert data == expected
+
+
+def test_recovered_server_serves_again():
+    env, dataservers, layout, client = build()
+    payload = b"R" * layout.stripe_size
+    ino = make_file(env, client, payload)
+    loc = layout.placement(ino, 0).shards[0]
+    dataservers[loc.server].fail()
+
+    def flow():
+        d1 = yield from client.read(ino, 0, 16)
+        dataservers[loc.server].recover()
+        d2 = yield from client.read(ino, 0, 16)
+        return d1, d2
+
+    d1, d2 = run(env, flow())
+    assert d1 == d2 == b"R" * 16
+
+
+def test_full_stripe_write_tolerates_m_failures():
+    env, dataservers, layout, client = build()
+
+    def flow():
+        attr = yield from client.create(DFS_ROOT_INO, b"new")
+        pl = layout.placement(attr.ino, 0)
+        dataservers[pl.shards[4].server].fail()  # one parity server down
+        yield from client.write(attr.ino, 0, b"W" * layout.stripe_size)
+        data = yield from client.read(attr.ino, 0, layout.stripe_size)
+        return data
+
+    assert run(env, flow()) == b"W" * layout.stripe_size
+
+
+def test_degraded_read_costs_more_than_healthy():
+    env, dataservers, layout, client = build()
+    payload = b"T" * layout.stripe_size
+    ino = make_file(env, client, payload)
+
+    def timed_read():
+        t0 = env.now
+        yield from client.read(ino, 0, 8192)
+        return env.now - t0
+
+    healthy = run(env, timed_read())
+    loc = layout.placement(ino, 0).shards[0]
+    dataservers[loc.server].fail()
+    degraded = run(env, timed_read())
+    assert degraded > healthy  # reconstruction reads k shards, not 1

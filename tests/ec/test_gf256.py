@@ -1,0 +1,127 @@
+"""Field-axiom property tests + unit tests for GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import gf256
+
+elems = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+@given(elems, elems)
+def test_addition_is_xor_and_commutative(a, b):
+    assert gf256.add(a, b) == (a ^ b) == gf256.add(b, a)
+
+
+@given(elems)
+def test_additive_identity_and_self_inverse(a):
+    assert gf256.add(a, 0) == a
+    assert gf256.add(a, a) == 0
+
+
+@given(elems, elems)
+def test_multiplication_commutative(a, b):
+    assert gf256.mul(a, b) == gf256.mul(b, a)
+
+
+@given(elems, elems, elems)
+def test_multiplication_associative(a, b, c):
+    assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+
+@given(elems, elems, elems)
+def test_distributivity(a, b, c):
+    left = gf256.mul(a, gf256.add(b, c))
+    right = gf256.add(gf256.mul(a, b), gf256.mul(a, c))
+    assert left == right
+
+
+@given(elems)
+def test_multiplicative_identity(a):
+    assert gf256.mul(a, 1) == a
+
+
+@given(nonzero)
+def test_inverse_roundtrip(a):
+    assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+@given(elems, nonzero)
+def test_division_inverts_multiplication(a, b):
+    assert gf256.div(gf256.mul(a, b), b) == a
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(ZeroDivisionError):
+        gf256.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf256.div(5, 0)
+
+
+@given(nonzero, st.integers(0, 600))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = gf256.mul(expected, a)
+    assert gf256.pow_(a, n) == expected
+
+
+def test_exp_log_tables_consistent():
+    for a in range(1, 256):
+        assert gf256.EXP[gf256.LOG[a]] == a
+
+
+def test_exp_table_generates_whole_field():
+    seen = {int(gf256.EXP[i]) for i in range(255)}
+    assert seen == set(range(1, 256))
+
+
+@given(elems, st.binary(min_size=1, max_size=64))
+def test_mul_bytes_matches_scalar(coef, data):
+    buf = np.frombuffer(data, dtype=np.uint8)
+    out = gf256.mul_bytes(coef, buf)
+    for i, b in enumerate(data):
+        assert out[i] == gf256.mul(coef, b)
+
+
+@given(elems, st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_addmul_matches_scalar(coef, d1, d2):
+    n = min(len(d1), len(d2))
+    dst = np.frombuffer(d1[:n], dtype=np.uint8).copy()
+    src = np.frombuffer(d2[:n], dtype=np.uint8)
+    expect = [gf256.add(d1[i], gf256.mul(coef, d2[i])) for i in range(n)]
+    gf256.addmul(dst, coef, src)
+    assert list(dst) == expect
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6))
+def test_matinv_roundtrip_on_vandermonde_derived(n):
+    # The row-reduced Vandermonde top block is invertible by construction.
+    v = gf256.vandermonde(n + 2, n)
+    top = v[:n, :]
+    top_inv = gf256.matinv(top)
+    prod = gf256.matmul(top, top_inv)
+    assert np.array_equal(prod, np.eye(n, dtype=np.uint8))
+
+
+def test_matinv_singular_rejected():
+    m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(np.linalg.LinAlgError):
+        gf256.matinv(m)
+
+
+def test_matmul_shape_mismatch_rejected():
+    a = np.zeros((2, 3), dtype=np.uint8)
+    b = np.zeros((2, 2), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        gf256.matmul(a, b)
+
+
+def test_vandermonde_first_rows():
+    v = gf256.vandermonde(3, 3)
+    assert list(v[0]) == [1, 0, 0]  # 0^0 = 1 convention, 0^j = 0
+    assert list(v[1]) == [1, 1, 1]
+    assert list(v[2]) == [1, 2, 4]

@@ -1,0 +1,278 @@
+"""End-to-end tests over the assembled testbeds (host -> DPU -> backends)."""
+
+import pytest
+
+from repro.core import (
+    build_dpc_system,
+    build_ext4_system,
+    build_host_dfs_clients,
+    build_raw_transport,
+)
+from repro.host.adapters import FsError, O_DIRECT
+from repro.host.vfs import O_CREAT
+from repro.params import default_params
+from repro.proto.filemsg import Errno, FileOp, FileRequest
+
+
+# ---------------------------------------------------------------- DPC / KVFS
+def test_dpc_kvfs_create_write_read_buffered():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/notes.txt", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"buffered payload")
+        data = yield from sys.vfs.read(f, 0, 16)
+        yield from sys.vfs.close(f)
+        return data
+
+    assert sys.run_until(app()) == b"buffered payload"
+
+
+def test_dpc_kvfs_direct_io_roundtrip():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/direct.bin", O_CREAT | O_DIRECT)
+        payload = bytes(range(256)) * 64  # 16 KiB
+        yield from sys.vfs.write(f, 0, payload)
+        data = yield from sys.vfs.read(f, 0, len(payload))
+        return data
+
+    assert sys.run_until(app()) == bytes(range(256)) * 64
+
+
+def test_dpc_buffered_write_lands_in_kv_store_after_fsync():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/durable", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"X" * 8192)
+        yield from sys.vfs.fsync(f)
+        # Read through the DPU directly (bypassing the host cache).
+        data = yield from sys.kvfs.read(f.ino, 0, 8192)
+        return data
+
+    assert sys.run_until(app()) == b"X" * 8192
+
+
+def test_dpc_buffered_then_direct_read_consistent():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/mix", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"c" * 4096)
+        yield from sys.vfs.fsync(f)
+        f2 = yield from sys.vfs.open("/kvfs/mix", O_DIRECT)
+        return (yield from sys.vfs.read(f2, 0, 4096))
+
+    assert sys.run_until(app()) == b"c" * 4096
+
+
+def test_dpc_kvfs_namespace_ops_through_vfs():
+    sys = build_dpc_system()
+
+    def app():
+        yield from sys.vfs.mkdir("/kvfs/etc")
+        yield from sys.vfs.mkdir("/kvfs/etc/conf.d")
+        f = yield from sys.vfs.open("/kvfs/etc/conf.d/app.cfg", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"key=value")
+        entries = yield from sys.vfs.readdir("/kvfs/etc/conf.d")
+        st = yield from sys.vfs.stat("/kvfs/etc/conf.d/app.cfg")
+        yield from sys.vfs.rename("/kvfs/etc/conf.d/app.cfg", "/kvfs/etc/app.cfg")
+        moved = yield from sys.vfs.stat("/kvfs/etc/app.cfg")
+        yield from sys.vfs.unlink("/kvfs/etc/app.cfg")
+        return entries, st.size, moved.ino
+
+    entries, size, moved_ino = sys.run_until(app())
+    assert entries == [(b"app.cfg", entries[0][1])]
+    assert size == 9
+    assert moved_ino == entries[0][1]
+
+
+def test_dpc_missing_file_raises_enoent():
+    sys = build_dpc_system()
+
+    def app():
+        try:
+            yield from sys.vfs.open("/kvfs/nope")
+        except FsError as e:
+            return e.errno_code
+
+    assert sys.run_until(app()) == Errno.ENOENT
+
+
+def test_dpc_stat_reflects_unflushed_buffered_growth():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/grow", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"g" * 12288)
+        st = yield from sys.vfs.stat("/kvfs/grow")
+        return st.size
+
+    assert sys.run_until(app()) == 12288
+
+
+def test_dpc_cache_hit_read_is_fast_and_local():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/hot", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"h" * 4096)
+        snap = sys.link.stats.snapshot()
+        t0 = sys.env.now
+        yield from sys.vfs.read(f, 0, 4096)
+        dt = sys.env.now - t0
+        d = sys.link.stats.delta(snap)
+        return dt, d.ops()
+
+    dt, pcie_ops = sys.run_until(app())
+    assert dt < 5e-6  # microseconds, not a PCIe round trip
+    assert pcie_ops == 0  # hits never cross PCIe
+
+
+def test_dpc_demand_fill_populates_cache():
+    sys = build_dpc_system()
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/fill", O_CREAT | O_DIRECT)
+        yield from sys.vfs.write(f, 0, b"F" * 8192)
+        f2 = yield from sys.vfs.open("/kvfs/fill")  # buffered handle
+        yield from sys.vfs.read(f2, 0, 8192)  # miss -> DPU -> async fill
+        yield sys.env.timeout(500e-6)
+        hits_before = sys.cache_host.stats.read_hits
+        yield from sys.vfs.read(f2, 0, 8192)  # now a hit
+        return sys.cache_host.stats.read_hits - hits_before
+
+    assert sys.run_until(app()) >= 1
+
+
+def test_dpc_without_cache_still_correct():
+    sys = build_dpc_system(with_cache=False)
+
+    def app():
+        f = yield from sys.vfs.open("/kvfs/nocache", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"plain")
+        return (yield from sys.vfs.read(f, 0, 5))
+
+    assert sys.run_until(app()) == b"plain"
+
+
+# ---------------------------------------------------------------- DPC / DFS
+def test_dpc_dfs_mount_write_read():
+    sys = build_dpc_system(with_dfs=True)
+
+    def app():
+        f = yield from sys.vfs.open("/dfs/shared.dat", O_CREAT | O_DIRECT)
+        payload = b"dfs-data" * 4096  # 32 KiB: a full stripe
+        yield from sys.vfs.write(f, 0, payload)
+        data = yield from sys.vfs.read(f, 0, len(payload))
+        return payload, data
+
+    payload, data = sys.run_until(app())
+    assert data == payload
+
+
+def test_dpc_dfs_data_is_erasure_coded_on_backend():
+    sys = build_dpc_system(with_dfs=True)
+
+    def app():
+        f = yield from sys.vfs.open("/dfs/ec.dat", O_CREAT | O_DIRECT)
+        yield from sys.vfs.write(f, 0, b"E" * sys.dfs_client.layout.stripe_size)
+        return f.ino
+
+    ino = sys.run_until(app())
+    layout = sys.dfs_client.layout
+    pl = layout.placement(ino, 0)
+    stored = [sys.dataservers[loc.server].units.get(loc.key) for loc in pl.shards]
+    assert all(s is not None for s in stored)
+    # Parity really reconstructs the data.
+    stored[0] = None
+    assert layout.decode_stripe(stored) == b"E" * layout.stripe_size
+
+
+def test_dpc_dfs_and_kvfs_coexist():
+    sys = build_dpc_system(with_dfs=True)
+
+    def app():
+        a = yield from sys.vfs.open("/kvfs/local.txt", O_CREAT)
+        b = yield from sys.vfs.open("/dfs/remote.txt", O_CREAT | O_DIRECT)
+        yield from sys.vfs.write(a, 0, b"standalone")
+        yield from sys.vfs.write(b, 0, b"distributed")
+        da = yield from sys.vfs.read(a, 0, 10)
+        db = yield from sys.vfs.read(b, 0, 11)
+        return da, db
+
+    da, db = sys.run_until(app())
+    assert da == b"standalone" and db == b"distributed"
+    assert sys.dispatch.standalone_ops > 0
+    assert sys.dispatch.distributed_ops > 0
+
+
+# ---------------------------------------------------------------- Ext4 system
+def test_ext4_system_roundtrip():
+    sys = build_ext4_system()
+
+    def app():
+        f = yield from sys.vfs.open("/mnt/local.db", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"ext4 payload" * 100)
+        return (yield from sys.vfs.read(f, 0, 1200))
+
+    assert sys.run_until(app()) == b"ext4 payload" * 100
+
+
+def test_ext4_direct_io():
+    sys = build_ext4_system()
+
+    def app():
+        f = yield from sys.vfs.open("/mnt/direct", O_CREAT | O_DIRECT)
+        yield from sys.vfs.write(f, 0, b"D" * 8192)
+        return (yield from sys.vfs.read(f, 0, 8192))
+
+    assert sys.run_until(app()) == b"D" * 8192
+
+
+# ---------------------------------------------------------------- raw transports
+@pytest.mark.parametrize("kind", ["nvme-fs", "virtio-fs"])
+def test_raw_transport_roundtrip(kind):
+    rig = build_raw_transport(kind)
+
+    def app():
+        n = yield from rig.adapter.write(1, 0, b"raw" * 1000, 0)
+        data = yield from rig.adapter.read(1, 0, 3000, 0)
+        return n, data
+
+    n, data = rig.run_until(app())
+    assert n == 3000 and data == b"raw" * 1000
+    assert rig.virtual.requests == 2
+
+
+def test_nvmefs_raw_latency_beats_virtio():
+    """Figure 6 shape at one thread: nvme-fs round trip < virtio-fs."""
+
+    def one_op(kind):
+        rig = build_raw_transport(kind)
+
+        def app():
+            t0 = rig.env.now
+            yield from rig.adapter.write(1, 0, b"z" * 8192, 0)
+            return rig.env.now - t0
+
+        return rig.run_until(app())
+
+    assert one_op("nvme-fs") < one_op("virtio-fs")
+
+
+# ---------------------------------------------------------------- host DFS testbed
+def test_host_dfs_testbed_clients_share_backend():
+    tb = build_host_dfs_clients()
+
+    def app():
+        attr = yield from tb.opt_client.create(0, b"common")
+        yield from tb.opt_client.write(attr.ino, 0, b"via opt")
+        yield from tb.opt_client.flush_metadata()
+        found = yield from tb.std_client.lookup(0, b"common")
+        data = yield from tb.std_client.read(found.ino, 0, 7)
+        return data
+
+    assert tb.run_until(app()) == b"via opt"

@@ -1,0 +1,140 @@
+"""Full-system stress and determinism tests."""
+
+import pytest
+
+from repro.core import build_dpc_system, build_raw_transport
+from repro.host.adapters import O_DIRECT
+from repro.host.vfs import O_CREAT
+from repro.proto.filemsg import FileOp, FileRequest
+from repro.workload.runner import JobSpec, VfsFileTarget, run_job
+
+
+def test_nvme_queue_wraparound_and_cid_reuse():
+    """Far more commands than the queue depth through a single queue."""
+    rig = build_raw_transport("nvme-fs", num_queues=1)
+    depth = rig.params.nvme_queue_depth
+    total = depth * 3 + 7
+
+    def app():
+        for i in range(total):
+            n = yield from rig.adapter.write(1, (i % 64) * 4096, b"w" * 4096, 0)
+            assert n == 4096
+        return rig.virtual.requests
+
+    assert rig.run_until(app()) == total
+    qp = rig.adapter.ini.queues[0]
+    assert qp.submitted == total and qp.completed == total
+    assert not qp.pending
+
+
+def test_concurrent_mixed_workload_stress():
+    """64 threads of mixed creates/writes/reads/readdirs; no losses."""
+    sys = build_dpc_system()
+    errors = []
+
+    def worker(tid):
+        try:
+            yield from sys.vfs.mkdir(f"/kvfs/w{tid}")
+            handles = []
+            for j in range(4):
+                f = yield from sys.vfs.open(f"/kvfs/w{tid}/f{j}", O_CREAT)
+                yield from sys.vfs.write(f, 0, bytes([tid]) * (500 + 3000 * j))
+                handles.append((f, 500 + 3000 * j))
+            for f, size in handles:
+                data = yield from sys.vfs.read(f, 0, size)
+                assert data == bytes([tid]) * size, f"corruption in t{tid}"
+            listing = yield from sys.vfs.readdir(f"/kvfs/w{tid}")
+            assert len(listing) == 4
+            yield from sys.vfs.unlink(f"/kvfs/w{tid}/f0")
+            listing = yield from sys.vfs.readdir(f"/kvfs/w{tid}")
+            assert len(listing) == 3
+        except AssertionError as e:
+            errors.append(str(e))
+
+    procs = [sys.env.process(worker(t)) for t in range(64)]
+    sys.env.run(until=sys.env.all_of(procs))
+    assert errors == []
+    root = sys.run_until(sys.vfs.readdir("/kvfs"))
+    assert len(root) == 64
+
+
+def test_full_system_run_is_deterministic():
+    """Two identical runs produce bit-identical metrics."""
+
+    def once():
+        sys = build_dpc_system()
+
+        def prep():
+            f = yield from sys.vfs.open("/kvfs/det", O_CREAT | O_DIRECT)
+            yield from sys.vfs.write(f, 0, b"D" * (1 << 20))
+            return f
+
+        handle = sys.run_until(prep())
+        spec = JobSpec("det", "randrw", block_size=8192, nthreads=8, ops_per_thread=15,
+                       file_size=1 << 20, seed=1234)
+        result = run_job(sys.env, spec, lambda tid: VfsFileTarget(sys.vfs, handle),
+                         host_cpu=sys.host_cpu, dpu_cpu=sys.dpu_cpu)
+        return (
+            result.iops,
+            result.lat.mean,
+            result.host_cores,
+            result.dpu_cores,
+            sys.link.stats.reads,
+            sys.link.stats.writes,
+            sys.kv_cluster.total_ops(),
+            sys.env.now,
+        )
+
+    assert once() == once()
+
+
+def test_interleaved_direct_and_buffered_handles_consistent():
+    """Two handles to the same file (direct + buffered) stay coherent
+    through fsync barriers."""
+    sys = build_dpc_system()
+
+    def app():
+        fb = yield from sys.vfs.open("/kvfs/shared", O_CREAT)
+        fd = yield from sys.vfs.open("/kvfs/shared", O_DIRECT)
+        yield from sys.vfs.write(fb, 0, b"B" * 4096)  # buffered
+        yield from sys.vfs.fsync(fb)
+        via_direct = yield from sys.vfs.read(fd, 0, 4096)
+        yield from sys.vfs.write(fd, 4096, b"D" * 4096)  # direct
+        via_buffered = yield from sys.vfs.read(fb, 4096, 4096)
+        return via_direct, via_buffered
+
+    via_direct, via_buffered = sys.run_until(app())
+    assert via_direct == b"B" * 4096
+    assert via_buffered == b"D" * 4096
+
+
+def test_many_files_roundtrip_through_lsm_compaction():
+    """Enough churn to force memtable flushes + compactions underneath."""
+    from repro.params import default_params
+
+    sys = build_dpc_system(default_params().with_overrides(kv_memtable_bytes=64 * 1024))
+
+    def app():
+        payloads = {}
+        for i in range(60):
+            f = yield from sys.vfs.open(f"/kvfs/churn{i}", O_CREAT | O_DIRECT)
+            data = bytes([i]) * (4096 + i * 97)
+            yield from sys.vfs.write(f, 0, data)
+            payloads[i] = (f, data)
+        # Overwrite half of them (new LSM versions).
+        for i in range(0, 60, 2):
+            f, _ = payloads[i]
+            data = bytes([255 - i]) * 5000
+            yield from sys.vfs.write(f, 0, data)
+            payloads[i] = (f, data + payloads[i][1][5000:] if len(payloads[i][1]) > 5000 else data)
+        ok = 0
+        for i, (f, data) in payloads.items():
+            got = yield from sys.vfs.read(f, 0, len(data))
+            if got == data:
+                ok += 1
+        return ok
+
+    assert sys.run_until(app()) == 60
+    # The engines actually flushed/compacted during this run.
+    flushes = sum(s.engine.stats.flushes for s in sys.kv_cluster.shards)
+    assert flushes >= 1

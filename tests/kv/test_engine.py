@@ -1,0 +1,209 @@
+"""LSM engine unit + model-based property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kv.bloom import BloomFilter
+from repro.kv.engine import LsmEngine, SortedRun, _prefix_end
+
+
+# ---------------------------------------------------------------- Bloom
+def test_bloom_no_false_negatives():
+    bf = BloomFilter(100)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    for k in keys:
+        bf.add(k)
+    assert all(k in bf for k in keys)
+
+
+def test_bloom_filters_most_absent_keys():
+    bf = BloomFilter(200, fp_rate=0.01)
+    for i in range(200):
+        bf.add(f"present-{i}".encode())
+    fps = sum(1 for i in range(2000) if f"absent-{i}".encode() in bf)
+    assert fps < 100  # generous bound for 1% target
+
+
+def test_bloom_bad_fp_rate():
+    with pytest.raises(ValueError):
+        BloomFilter(10, fp_rate=1.5)
+
+
+# ---------------------------------------------------------------- SortedRun
+def test_sorted_run_get_and_slice():
+    run = SortedRun([(b"a", b"1"), (b"c", b"3"), (b"e", None)])
+    assert run.get(b"a") == (True, b"1")
+    assert run.get(b"b") == (False, None)
+    assert run.get(b"e") == (True, None)  # tombstone is "found"
+    assert list(run.slice(b"b", b"z")) == [(b"c", b"3"), (b"e", None)]
+    assert list(run.slice(b"a", None)) == [(b"a", b"1"), (b"c", b"3"), (b"e", None)]
+
+
+# ---------------------------------------------------------------- prefix end
+def test_prefix_end_simple():
+    assert _prefix_end(b"abc") == b"abd"
+
+
+def test_prefix_end_carry():
+    assert _prefix_end(b"a\xff") == b"b"
+    assert _prefix_end(b"\xff\xff") is None
+
+
+# ---------------------------------------------------------------- LsmEngine
+def test_put_get_roundtrip():
+    e = LsmEngine()
+    e.put(b"k", b"v")
+    assert e.get(b"k") == b"v"
+    assert e.get(b"missing") is None
+
+
+def test_overwrite_returns_latest():
+    e = LsmEngine()
+    e.put(b"k", b"v1")
+    e.put(b"k", b"v2")
+    assert e.get(b"k") == b"v2"
+
+
+def test_delete_hides_key():
+    e = LsmEngine()
+    e.put(b"k", b"v")
+    e.delete(b"k")
+    assert e.get(b"k") is None
+    assert not e.contains(b"k")
+
+
+def test_delete_shadows_older_run_version():
+    e = LsmEngine(memtable_limit_bytes=1)  # flush after every op
+    e.put(b"k", b"v")
+    e.delete(b"k")
+    assert e.get(b"k") is None
+    e.compact()
+    assert e.get(b"k") is None
+    assert e.count_live() == 0
+
+
+def test_flush_creates_run_and_preserves_data():
+    e = LsmEngine()
+    for i in range(50):
+        e.put(f"key{i:03d}".encode(), f"val{i}".encode())
+    e.flush()
+    assert len(e.runs) == 1
+    assert e.memtable == {}
+    for i in range(50):
+        assert e.get(f"key{i:03d}".encode()) == f"val{i}".encode()
+
+
+def test_auto_flush_on_memtable_limit():
+    e = LsmEngine(memtable_limit_bytes=64)
+    for i in range(20):
+        e.put(f"k{i}".encode(), b"x" * 16)
+    assert e.stats.flushes >= 1
+    assert all(e.get(f"k{i}".encode()) == b"x" * 16 for i in range(20))
+
+
+def test_compaction_bounds_run_count():
+    e = LsmEngine(memtable_limit_bytes=16, max_runs=3)
+    for i in range(100):
+        e.put(f"key{i:04d}".encode(), b"v" * 8)
+    assert len(e.runs) <= 4
+    assert e.stats.compactions >= 1
+
+
+def test_scan_prefix_ordered():
+    e = LsmEngine()
+    e.put(b"dir1/b", b"2")
+    e.put(b"dir1/a", b"1")
+    e.put(b"dir2/x", b"9")
+    e.put(b"dir1/c", b"3")
+    items = e.scan_prefix(b"dir1/")
+    assert items == [(b"dir1/a", b"1"), (b"dir1/b", b"2"), (b"dir1/c", b"3")]
+
+
+def test_scan_prefix_spans_memtable_and_runs():
+    e = LsmEngine()
+    e.put(b"p/a", b"old-a")
+    e.put(b"p/b", b"b")
+    e.flush()
+    e.put(b"p/a", b"new-a")  # newer version in memtable
+    e.put(b"p/c", b"c")
+    items = e.scan_prefix(b"p/")
+    assert items == [(b"p/a", b"new-a"), (b"p/b", b"b"), (b"p/c", b"c")]
+
+
+def test_scan_hides_tombstones():
+    e = LsmEngine()
+    e.put(b"p/a", b"1")
+    e.put(b"p/b", b"2")
+    e.flush()
+    e.delete(b"p/a")
+    assert e.scan_prefix(b"p/") == [(b"p/b", b"2")]
+
+
+def test_scan_limit():
+    e = LsmEngine()
+    for i in range(10):
+        e.put(f"p/{i}".encode(), b"v")
+    items = e.scan_prefix(b"p/", limit=3)
+    assert len(items) == 3
+    assert items[0][0] == b"p/0"
+
+
+def test_scan_range_bounds():
+    e = LsmEngine()
+    for c in b"abcdef":
+        e.put(bytes([c]), b"v")
+    items = e.scan_range(b"b", b"e")
+    assert [k for k, _ in items] == [b"b", b"c", b"d"]
+
+
+def test_type_errors():
+    e = LsmEngine()
+    with pytest.raises(TypeError):
+        e.put("str", b"v")  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        e.put(b"k", 5)  # type: ignore[arg-type]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "get", "flush", "compact"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(min_size=0, max_size=10),
+        ),
+        max_size=80,
+    )
+)
+def test_engine_matches_dict_model(ops):
+    """The LSM engine behaves exactly like a dict, whatever the op sequence."""
+    e = LsmEngine(memtable_limit_bytes=48)  # force frequent flushes
+    model: dict[bytes, bytes] = {}
+    for kind, k, v in ops:
+        if kind == "put":
+            e.put(k, v)
+            model[k] = v
+        elif kind == "delete":
+            e.delete(k)
+            model.pop(k, None)
+        elif kind == "get":
+            assert e.get(k) == model.get(k)
+        elif kind == "flush":
+            e.flush()
+        else:
+            e.compact()
+    # Final full agreement, including ordered iteration.
+    assert e.scan_range(b"", None) == sorted(model.items())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=30, unique=True),
+    prefix=st.binary(min_size=1, max_size=3),
+)
+def test_scan_prefix_matches_filter_model(keys, prefix):
+    e = LsmEngine(memtable_limit_bytes=64)
+    for k in keys:
+        e.put(k, k)
+    expected = sorted((k, k) for k in keys if k.startswith(prefix))
+    assert e.scan_prefix(prefix) == expected

@@ -1,0 +1,227 @@
+"""Integration tests: KV client <-> shard servers over the fabric."""
+
+import pytest
+
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.network import Fabric
+from repro.kv.client import KvClient, KvTransactionError
+from repro.kv.server import KvCluster, KvShardServer
+
+
+def make_cluster(shards=4):
+    env = Environment()
+    params = default_params().with_overrides(kv_shards=shards)
+    fabric = Fabric(env, latency=params.net_latency, default_bandwidth=params.net_bandwidth)
+    cluster = KvCluster(env, fabric, params)
+    fabric.attach("client")
+    client = KvClient(fabric, "client", cluster.shard_names())
+    return env, fabric, cluster, client
+
+
+def run(env, gen):
+    """Drive a client generator to completion and return its value."""
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+def test_put_get_roundtrip_over_network():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        yield from client.put(b"hello-key", b"world")
+        v = yield from client.get(b"hello-key")
+        return v
+
+    assert run(env, flow()) == b"world"
+    assert env.now > 0  # network + service time elapsed
+
+
+def test_get_missing_returns_none():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        return (yield from client.get(b"nothing-here"))
+
+    assert run(env, flow()) is None
+
+
+def test_delete_over_network():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        yield from client.put(b"k1", b"v1")
+        yield from client.delete(b"k1")
+        return (yield from client.get(b"k1"))
+
+    assert run(env, flow()) is None
+
+
+def test_routing_is_deterministic_and_spreads():
+    _, _, _, client = make_cluster(shards=8)
+    keys = [f"{i:08d}-key".encode() for i in range(200)]
+    shards = {client.route(k) for k in keys}
+    assert len(shards) >= 4  # keys spread over many shards
+    assert all(client.route(k) == client.route(k) for k in keys)
+
+
+def test_same_routing_prefix_colocates():
+    _, _, _, client = make_cluster(shards=8)
+    base = b"ABCDEFGH"  # 8-byte routing prefix
+    shards = {client.route(base + f"/child{i}".encode()) for i in range(50)}
+    assert len(shards) == 1
+
+
+def test_prefix_scan_single_shard():
+    env, _, _, client = make_cluster()
+    prefix = b"DIRINODE"  # 8 bytes
+
+    def flow():
+        yield from client.put(prefix + b"/b", b"2")
+        yield from client.put(prefix + b"/a", b"1")
+        yield from client.put(b"OTHERDIR/x", b"9")
+        return (yield from client.scan_prefix(prefix))
+
+    items = run(env, flow())
+    assert items == [(prefix + b"/a", b"1"), (prefix + b"/b", b"2")]
+
+
+def test_short_prefix_scan_fans_out():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        for i in range(10):
+            yield from client.put(f"zz-key-{i}".encode(), b"v")
+        return (yield from client.scan_prefix(b"zz"))
+
+    items = run(env, flow())
+    assert len(items) == 10
+    assert [k for k, _ in items] == sorted(k for k, _ in items)
+
+
+def test_cas_create_if_absent():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        ok1 = yield from client.cas(b"unique", None, b"first")
+        ok2 = yield from client.cas(b"unique", None, b"second")
+        v = yield from client.get(b"unique")
+        return ok1, ok2, v
+
+    ok1, ok2, v = run(env, flow())
+    assert ok1 is True and ok2 is False and v == b"first"
+
+
+def test_cas_delete_on_match():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        yield from client.put(b"k", b"v")
+        ok = yield from client.cas(b"k", b"v", None)
+        v = yield from client.get(b"k")
+        return ok, v
+
+    ok, v = run(env, flow())
+    assert ok is True and v is None
+
+
+def test_single_shard_batch_is_atomic():
+    env, _, _, client = make_cluster()
+    base = b"SAMEPREF"
+
+    def flow():
+        yield from client.batch_commit(
+            [("put", base + b"/a", b"1"), ("put", base + b"/b", b"2")]
+        )
+        a = yield from client.get(base + b"/a")
+        b = yield from client.get(base + b"/b")
+        return a, b
+
+    assert run(env, flow()) == (b"1", b"2")
+
+
+def test_cross_shard_batch_2pc():
+    env, _, _, client = make_cluster(shards=8)
+    # Find two keys on different shards.
+    k1 = b"AAAAAAAA/x"
+    k2 = None
+    for i in range(100):
+        cand = f"B{i:07d}".encode() + b"/y"
+        if client.route(cand) != client.route(k1):
+            k2 = cand
+            break
+    assert k2 is not None
+
+    def flow():
+        yield from client.put(k1, b"old")
+        yield from client.batch_commit([("delete", k1), ("put", k2, b"moved")])
+        v1 = yield from client.get(k1)
+        v2 = yield from client.get(k2)
+        return v1, v2
+
+    assert run(env, flow()) == (None, b"moved")
+
+
+def test_batch_rejects_non_write_ops():
+    env, _, _, client = make_cluster()
+
+    def flow():
+        yield from client.batch_commit([("get", b"k")])
+
+    with pytest.raises(ValueError):
+        run(env, flow())
+
+
+def test_concurrent_clients_all_succeed():
+    env, fabric, cluster, _ = make_cluster()
+    clients = []
+    for i in range(4):
+        fabric.attach(f"c{i}")
+        clients.append(KvClient(fabric, f"c{i}", cluster.shard_names()))
+    done = []
+
+    def worker(i, cl):
+        for j in range(10):
+            yield from cl.put(f"w{i}-k{j}".encode(), f"v{i}-{j}".encode())
+        for j in range(10):
+            v = yield from cl.get(f"w{i}-k{j}".encode())
+            assert v == f"v{i}-{j}".encode()
+        done.append(i)
+
+    for i, cl in enumerate(clients):
+        env.process(worker(i, cl))
+    env.run()
+    assert sorted(done) == [0, 1, 2, 3]
+
+
+def test_server_thread_pool_limits_concurrency():
+    env = Environment()
+    params = default_params()
+    fabric = Fabric(env, latency=1e-6)
+    server = KvShardServer(env, fabric, "solo", params, threads=1)
+    fabric.attach("client")
+    client = KvClient(fabric, "client", ["solo"])
+    finish_times = []
+
+    def worker(i):
+        yield from client.put(f"k{i}".encode(), b"v")
+        finish_times.append(env.now)
+
+    for i in range(4):
+        env.process(worker(i))
+    env.run()
+    # With a single server thread, completions are spaced by >= service time
+    # (small values take the metadata service tier).
+    gaps = [b - a for a, b in zip(finish_times, finish_times[1:])]
+    assert all(g >= params.kv_meta_put_service * 0.9 for g in gaps)
+
+
+def test_cluster_ops_counter():
+    env, _, cluster, client = make_cluster()
+
+    def flow():
+        for i in range(5):
+            yield from client.put(f"key-{i}".encode(), b"v")
+
+    run(env, flow())
+    assert cluster.total_ops() == 5

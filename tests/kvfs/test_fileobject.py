@@ -1,0 +1,136 @@
+"""FileObject extent-index tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvfs.fileobject import FileObject
+
+
+def test_empty_object():
+    fo = FileObject(1)
+    assert not fo.contains(0)
+    assert fo.block_count() == 0
+    assert fo.highest_block() == -1
+    assert list(fo.blocks()) == []
+
+
+def test_add_and_contains():
+    fo = FileObject(1)
+    assert fo.add(5)
+    assert fo.contains(5)
+    assert not fo.contains(4)
+    assert not fo.add(5)  # already present
+
+
+def test_adjacent_adds_coalesce():
+    fo = FileObject(1)
+    fo.add(1)
+    fo.add(3)
+    assert fo.extent_count() == 2
+    fo.add(2)  # bridges the two extents
+    assert fo.extent_count() == 1
+    assert fo.block_count() == 3
+
+
+def test_prepend_extends_extent():
+    fo = FileObject(1)
+    fo.add(5)
+    fo.add(4)
+    assert fo.extent_count() == 1
+    assert list(fo.blocks()) == [4, 5]
+
+
+def test_sequential_file_is_one_extent():
+    fo = FileObject(1)
+    for b in range(100):
+        fo.add(b)
+    assert fo.extent_count() == 1
+    assert fo.block_count() == 100
+    assert fo.highest_block() == 99
+
+
+def test_sparse_file_many_extents():
+    fo = FileObject(1)
+    for b in [0, 10, 20, 30]:
+        fo.add(b)
+    assert fo.extent_count() == 4
+
+
+def test_remove_from_truncate():
+    fo = FileObject(1)
+    for b in range(10):
+        fo.add(b)
+    removed = fo.remove_from(4)
+    assert removed == [4, 5, 6, 7, 8, 9]
+    assert fo.block_count() == 4
+    assert not fo.contains(4)
+    assert fo.contains(3)
+
+
+def test_remove_from_splits_extent():
+    fo = FileObject(1)
+    for b in [0, 1, 2, 7, 8]:
+        fo.add(b)
+    removed = fo.remove_from(2)
+    assert removed == [2, 7, 8]
+    assert list(fo.blocks()) == [0, 1]
+
+
+def test_remove_from_beyond_end_is_noop():
+    fo = FileObject(1)
+    fo.add(0)
+    assert fo.remove_from(100) == []
+    assert fo.contains(0)
+
+
+def test_pack_unpack_roundtrip():
+    fo = FileObject(42)
+    for b in [0, 1, 2, 10, 11, 50]:
+        fo.add(b)
+    out = FileObject.unpack(fo.pack())
+    assert out.ino == 42
+    assert list(out.blocks()) == list(fo.blocks())
+    assert out.extent_count() == fo.extent_count()
+
+
+def test_negative_block_rejected():
+    with pytest.raises(ValueError):
+        FileObject(1).add(-1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=st.lists(st.integers(0, 200), max_size=60))
+def test_matches_set_model(blocks):
+    """The extent index behaves exactly like a set of block numbers."""
+    fo = FileObject(1)
+    model: set[int] = set()
+    for b in blocks:
+        assert fo.add(b) == (b not in model)
+        model.add(b)
+    assert list(fo.blocks()) == sorted(model)
+    assert fo.block_count() == len(model)
+    # Extents are genuinely coalesced: count equals the number of runs.
+    runs = 0
+    prev = None
+    for b in sorted(model):
+        if prev is None or b != prev + 1:
+            runs += 1
+        prev = b
+    assert fo.extent_count() == runs
+    # Serialisation is faithful.
+    assert list(FileObject.unpack(fo.pack()).blocks()) == sorted(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    blocks=st.lists(st.integers(0, 100), max_size=40),
+    cut=st.integers(0, 100),
+)
+def test_remove_from_matches_set_model(blocks, cut):
+    fo = FileObject(1)
+    model = set(blocks)
+    for b in blocks:
+        fo.add(b)
+    removed = fo.remove_from(cut)
+    assert sorted(removed) == sorted(b for b in model if b >= cut)
+    assert list(fo.blocks()) == sorted(b for b in model if b < cut)

@@ -1,0 +1,214 @@
+"""Model-based testing: KVFS vs an in-memory oracle file system.
+
+Hypothesis drives random operation sequences against both KVFS (running on
+the real sharded KV store over the simulated fabric) and a trivially
+correct in-memory model; any divergence in results, errors, data, sizes, or
+directory listings is a bug.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kv.client import KvClient
+from repro.kv.server import KvCluster
+from repro.kvfs import schema
+from repro.kvfs.fs import Kvfs, KvfsError
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.network import Fabric
+
+
+class OracleFs:
+    """The obviously correct reference: dicts all the way down."""
+
+    def __init__(self):
+        self.dirs: dict[int, dict[bytes, int]] = {0: {}}
+        self.files: dict[int, bytearray] = {}
+        self._next = 1
+
+    def create(self, p_ino, name):
+        d = self.dirs.get(p_ino)
+        if d is None:
+            return "ENOTDIR"
+        if name in d:
+            return "EEXIST"
+        ino = self._next
+        self._next += 1
+        d[name] = ino
+        self.files[ino] = bytearray()
+        return ino
+
+    def mkdir(self, p_ino, name):
+        d = self.dirs.get(p_ino)
+        if d is None:
+            return "ENOTDIR"
+        if name in d:
+            return "EEXIST"
+        ino = self._next
+        self._next += 1
+        d[name] = ino
+        self.dirs[ino] = {}
+        return ino
+
+    def write(self, ino, offset, data):
+        if ino not in self.files:
+            return "ENOENT"
+        buf = self.files[ino]
+        if len(buf) < offset + len(data):
+            buf.extend(b"\0" * (offset + len(data) - len(buf)))
+        buf[offset : offset + len(data)] = data
+        return len(data)
+
+    def read(self, ino, offset, length):
+        if ino not in self.files:
+            return "ENOENT"
+        return bytes(self.files[ino][offset : offset + length])
+
+    def truncate(self, ino, size):
+        if ino not in self.files:
+            return "ENOENT"
+        buf = self.files[ino]
+        if size <= len(buf):
+            self.files[ino] = buf[:size]
+        else:
+            buf.extend(b"\0" * (size - len(buf)))
+        return "ok"
+
+    def unlink(self, p_ino, name):
+        d = self.dirs.get(p_ino, {})
+        ino = d.get(name)
+        if ino is None or ino in self.dirs:
+            return "ENOENT-or-dir"
+        del d[name]
+        del self.files[ino]
+        return "ok"
+
+    def readdir(self, ino):
+        d = self.dirs.get(ino)
+        if d is None:
+            return "ENOTDIR"
+        return sorted(d.items())
+
+    def size(self, ino):
+        return len(self.files.get(ino, b""))
+
+
+def build_kvfs():
+    env = Environment()
+    p = default_params()
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    cluster = KvCluster(env, fabric, p)
+    fabric.attach("dpu")
+    kv = KvClient(
+        fabric, "dpu", cluster.shard_names(),
+        route_fn=schema.routing_key, scan_route_fn=schema.scan_routing,
+    )
+    fs = Kvfs(env, kv, CpuPool(env, 24, perf=0.6, switch_cost=0), p)
+    return env, fs
+
+
+# Operation alphabet: (kind, directory slot, name slot, offset, payload)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["create", "mkdir", "write", "read", "truncate", "unlink", "readdir"]
+        ),
+        st.integers(0, 3),  # directory selector
+        st.integers(0, 4),  # name selector
+        st.integers(0, 40000),  # offset / truncate size
+        st.binary(min_size=0, max_size=12000),  # payload (crosses 8K blocks)
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=ops_strategy)
+def test_kvfs_matches_oracle(ops):
+    env, fs = build_kvfs()
+    oracle = OracleFs()
+    #: oracle ino -> kvfs ino (created objects get different numbers)
+    ino_map: dict[int, int] = {0: schema.ROOT_INO}
+    names = [b"a", b"b", b"c.txt", b"dir", b"x" * 40]
+
+    def scenario():
+        dirs = [0]  # oracle ino numbers of known directories
+        files: list[int] = []  # oracle ino numbers of known files
+        for kind, dsel, nsel, offset, payload in ops:
+            p_o = dirs[dsel % len(dirs)]
+            p_k = ino_map[p_o]
+            name = names[nsel % len(names)]
+            if kind == "create":
+                expect = oracle.create(p_o, name)
+                try:
+                    attr = yield from fs.create(p_k, name)
+                    assert not isinstance(expect, str), f"kvfs created, oracle said {expect}"
+                    ino_map[expect] = attr.ino
+                    files.append(expect)
+                except KvfsError:
+                    assert isinstance(expect, str)
+                    if expect not in ("EEXIST", "ENOTDIR"):
+                        raise
+            elif kind == "mkdir":
+                expect = oracle.mkdir(p_o, name)
+                try:
+                    attr = yield from fs.mkdir(p_k, name)
+                    assert not isinstance(expect, str)
+                    ino_map[expect] = attr.ino
+                    dirs.append(expect)
+                except KvfsError:
+                    assert isinstance(expect, str)
+            elif kind == "write" and files:
+                target = files[dsel % len(files)]
+                expect = oracle.write(target, offset, payload)
+                try:
+                    got = yield from fs.write(ino_map[target], offset, payload)
+                    assert not isinstance(expect, str) and got == expect
+                except KvfsError:
+                    assert isinstance(expect, str)  # unlinked file
+            elif kind == "read" and files:
+                target = files[dsel % len(files)]
+                expect = oracle.read(target, offset, 16384)
+                try:
+                    got = yield from fs.read(ino_map[target], offset, 16384)
+                    assert got == expect, f"read mismatch on oracle ino {target}"
+                except KvfsError:
+                    assert isinstance(expect, str)
+            elif kind == "truncate" and files:
+                target = files[dsel % len(files)]
+                expect = oracle.truncate(target, offset)
+                try:
+                    yield from fs.truncate(ino_map[target], offset)
+                    st_ = yield from fs.stat(ino_map[target])
+                    assert st_.size == oracle.size(target)
+                except KvfsError:
+                    assert isinstance(expect, str)
+            elif kind == "unlink":
+                expect = oracle.unlink(p_o, name)
+                try:
+                    yield from fs.unlink(p_k, name)
+                    assert expect == "ok"
+                except KvfsError:
+                    assert expect != "ok"
+            elif kind == "readdir":
+                expect = oracle.readdir(p_o)
+                got = yield from fs.readdir(p_k)
+                assert isinstance(expect, list)
+                got_mapped = sorted((n, i) for n, i in got)
+                assert [n for n, _ in got_mapped] == [n for n, _ in expect]
+                for (gn, gi), (on, oi) in zip(got_mapped, expect):
+                    assert ino_map[oi] == gi, "directory maps to wrong inode"
+        # Final verification: every live file's full content matches.
+        for o_ino in files:
+            if o_ino in oracle.files:
+                expect = bytes(oracle.files[o_ino])
+                got = yield from fs.read(ino_map[o_ino], 0, max(len(expect), 1))
+                assert got == expect
+
+    env.run(until=env.process(scenario()))

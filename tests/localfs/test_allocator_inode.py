@@ -1,0 +1,269 @@
+"""Unit tests for the block allocator, disk inodes, journal and page cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localfs.allocator import AllocError, BitmapAllocator
+from repro.localfs.inode import DiskInode, INODE_SIZE, S_IFDIR
+from repro.localfs.journal import Journal
+from repro.localfs.pagecache import PageCache
+from repro.sim.core import Environment
+from repro.sim.nvme_device import BLOCK, NvmeSsd
+
+
+# ---------------------------------------------------------------- allocator
+def test_alloc_single_run_when_possible():
+    a = BitmapAllocator(100, 1000)
+    ext = a.alloc_extents(64)
+    assert ext == [(100, 64)]
+    assert a.free_blocks() == 936
+
+
+def test_alloc_spans_runs_when_fragmented():
+    a = BitmapAllocator(0, 100)
+    first = a.alloc_extents(40)
+    second = a.alloc_extents(40)
+    a.free_extents(first)  # free [0,40), keep [40,80), free tail [80,100)
+    ext = a.alloc_extents(50)  # must span two runs
+    assert sum(l for _, l in ext) == 50
+    assert len(ext) == 2
+
+
+def test_alloc_exhaustion_raises():
+    a = BitmapAllocator(0, 10)
+    a.alloc_extents(10)
+    with pytest.raises(AllocError):
+        a.alloc_extents(1)
+
+
+def test_free_coalesces():
+    a = BitmapAllocator(0, 100)
+    e1 = a.alloc_extents(30)
+    e2 = a.alloc_extents(30)
+    a.free_extents(e1)
+    a.free_extents(e2)
+    # All 100 blocks allocatable as a single run again.
+    assert a.alloc_extents(100) == [(0, 100)]
+
+
+def test_double_free_detected():
+    a = BitmapAllocator(0, 100)
+    e = a.alloc_extents(10)
+    a.free_extents(e)
+    with pytest.raises(ValueError):
+        a.free_extents(e)
+
+
+def test_free_out_of_region_rejected():
+    a = BitmapAllocator(10, 100)
+    with pytest.raises(ValueError):
+        a.free_extents([(0, 5)])
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.integers(1, 40), min_size=1, max_size=30))
+def test_allocator_conservation_property(ops):
+    a = BitmapAllocator(0, 2000)
+    live = []
+    for n in ops:
+        try:
+            ext = a.alloc_extents(n)
+        except AllocError:
+            if live:
+                a.free_extents(live.pop(0))
+            continue
+        assert sum(l for _, l in ext) == n
+        live.append(ext)
+        # No overlap across all live extents.
+        spans = sorted((s, s + l) for e in live for s, l in e)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert a.free_blocks() + sum(l for e in live for _, l in e) == 2000
+
+
+# ---------------------------------------------------------------- inode
+def test_inode_pack_unpack_roundtrip():
+    ino = DiskInode(7, mode=S_IFDIR | 0o755, nlink=3, size=12345, mtime=1, ctime=2)
+    ino.add_extent(0, 500, 4)
+    ino.add_extent(10, 900, 2)
+    out = DiskInode.unpack(7, ino.pack())
+    assert out.mode == ino.mode and out.size == 12345
+    assert out.extents == ino.extents
+    assert len(ino.pack()) == INODE_SIZE
+
+
+def test_inode_map_block_and_holes():
+    ino = DiskInode(1)
+    ino.add_extent(2, 100, 3)  # logical 2,3,4 -> disk 100,101,102
+    assert ino.map_block(0) is None
+    assert ino.map_block(2) == 100
+    assert ino.map_block(4) == 102
+    assert ino.map_block(5) is None
+
+
+def test_inode_extent_coalescing():
+    ino = DiskInode(1)
+    ino.add_extent(0, 100, 2)
+    ino.add_extent(2, 102, 2)  # adjacent both logically and physically
+    assert ino.extents == [(0, 100, 4)]
+
+
+def test_inode_overlapping_extent_rejected():
+    ino = DiskInode(1)
+    ino.add_extent(0, 100, 4)
+    with pytest.raises(ValueError):
+        ino.add_extent(2, 500, 4)
+
+
+def test_inode_truncate_extents():
+    ino = DiskInode(1)
+    ino.add_extent(0, 100, 10)
+    freed = ino.truncate_extents(4)
+    assert freed == [(104, 6)]
+    assert ino.extents == [(0, 100, 4)]
+
+
+# ---------------------------------------------------------------- journal
+def test_journal_commit_and_checkpoint():
+    env = Environment()
+    ssd = NvmeSsd(env)
+    j = Journal(env, ssd, first_block=10, nblocks=64)
+
+    def flow():
+        tx = j.begin()
+        tx.log_block(1000, b"A" * BLOCK)
+        tx.log_block(1001, b"B" * BLOCK)
+        yield from j.commit(tx)
+        # Home blocks not yet written; journal shadow serves reads.
+        shadow = yield from j.read_home_block(1000)
+        assert shadow == b"A" * BLOCK
+        yield from j.checkpoint()
+        direct = yield from ssd.read_blocks(1000, 1)
+        return direct
+
+    p = env.process(flow())
+    assert env.run(until=p) == b"A" * BLOCK
+    assert j.commits == 1
+    assert j.blocks_journaled == 4  # desc + 2 data + commit
+
+
+def test_journal_writes_land_in_journal_region():
+    env = Environment()
+    ssd = NvmeSsd(env)
+    j = Journal(env, ssd, first_block=10, nblocks=64)
+
+    def flow():
+        tx = j.begin()
+        tx.log_block(5000, b"x" * BLOCK)
+        yield from j.commit(tx)
+
+    p = env.process(flow())
+    env.run(until=p)
+    # Journal slots 10, 11, 12 hold desc/data/commit.
+    assert ssd.peek(11) == b"x" * BLOCK
+
+
+def test_journal_rejects_bad_block_size():
+    env = Environment()
+    ssd = NvmeSsd(env)
+    j = Journal(env, ssd, 10, 64)
+    tx = j.begin()
+    with pytest.raises(ValueError):
+        tx.log_block(100, b"short")
+
+
+def test_journal_auto_checkpoint_at_threshold():
+    env = Environment()
+    ssd = NvmeSsd(env)
+    j = Journal(env, ssd, 10, 512)
+
+    def flow():
+        for i in range(70):
+            tx = j.begin()
+            tx.log_block(2000 + i, bytes([i]) * BLOCK)
+            yield from j.commit(tx)
+
+    p = env.process(flow())
+    env.run(until=p)
+    assert j.checkpoints >= 1
+    assert j.pending_blocks() < 70
+
+
+# ---------------------------------------------------------------- page cache
+def make_cache(env, capacity=8):
+    written = {}
+
+    def writeback(ino, lpn, data):
+        yield env.timeout(1e-6)
+        written[(ino, lpn)] = data
+
+    return PageCache(env, capacity, writeback, flush_period=1e-3), written
+
+
+def test_pagecache_hit_after_put():
+    env = Environment()
+    cache, _ = make_cache(env)
+
+    def flow():
+        yield from cache.put(1, 0, b"page", dirty=False)
+
+    env.run(until=env.process(flow()))
+    assert cache.get(1, 0) == b"page"
+    assert cache.hits == 1
+
+
+def test_pagecache_lru_eviction_writes_back_dirty():
+    env = Environment()
+    cache, written = make_cache(env, capacity=2)
+
+    def flow():
+        yield from cache.put(1, 0, b"dirty0", dirty=True)
+        yield from cache.put(1, 1, b"clean1", dirty=False)
+        yield from cache.put(1, 2, b"new2", dirty=False)  # evicts (1,0)
+
+    env.run(until=env.process(flow()))
+    assert written[(1, 0)] == b"dirty0"
+    assert cache.get(1, 0) is None
+    assert cache.evictions == 1
+
+
+def test_pagecache_background_flush():
+    env = Environment()
+    cache, written = make_cache(env)
+
+    def flow():
+        yield from cache.put(3, 7, b"later", dirty=True)
+
+    env.run(until=env.process(flow()))
+    env.run(until=env.now + 5e-3)
+    assert written[(3, 7)] == b"later"
+    assert cache.dirty_count() == 0
+
+
+def test_pagecache_flush_file():
+    env = Environment()
+    cache, written = make_cache(env)
+
+    def flow():
+        yield from cache.put(4, 0, b"a", dirty=True)
+        yield from cache.put(5, 0, b"b", dirty=True)
+        n = yield from cache.flush_file(4)
+        return n
+
+    assert env.run(until=env.process(flow())) == 1
+    assert (4, 0) in written and (5, 0) not in written
+
+
+def test_pagecache_invalidate():
+    env = Environment()
+    cache, _ = make_cache(env)
+
+    def flow():
+        yield from cache.put(6, 0, b"x", dirty=False)
+        yield from cache.put(6, 1, b"y", dirty=False)
+
+    env.run(until=env.process(flow()))
+    cache.invalidate_page(6, 0)
+    assert cache.get(6, 0) is None and cache.get(6, 1) == b"y"
+    cache.invalidate_file(6)
+    assert cache.get(6, 1) is None

@@ -1,0 +1,291 @@
+"""Integration tests for the ext4-like file system on the simulated SSD."""
+
+import pytest
+
+from repro.localfs.ext4sim import Ext4Error, Ext4Fs, ROOT_INO
+from repro.params import default_params
+from repro.proto.filemsg import Errno
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.nvme_device import NvmeSsd
+
+
+def build(cache_pages=1024):
+    env = Environment()
+    p = default_params()
+    ssd = NvmeSsd(
+        env,
+        read_latency=p.ssd_read_latency,
+        write_latency=p.ssd_write_latency,
+        channels=p.ssd_channels,
+        bandwidth=p.ssd_bandwidth,
+        max_iops=p.ssd_max_iops,
+        capacity_blocks=1 << 20,
+    )
+    cpu = CpuPool(env, p.host_cores, switch_cost=p.host_switch_cost)
+    fs = Ext4Fs(env, ssd, cpu, p, cache_pages=cache_pages, max_inodes=4096)
+    return env, fs
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_create_lookup_stat():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"file.txt")
+        got = yield from fs.lookup(ROOT_INO, b"file.txt")
+        st = yield from fs.stat(got.ino)
+        return inode.ino, got.ino, st.size
+
+    ino, got, size = run(env, flow())
+    assert ino == got and size == 0
+
+
+def test_duplicate_create_rejected():
+    env, fs = build()
+
+    def flow():
+        yield from fs.create(ROOT_INO, b"dup")
+        try:
+            yield from fs.create(ROOT_INO, b"dup")
+        except Ext4Error as e:
+            return e.errno_code
+
+    assert run(env, flow()) == Errno.EEXIST
+
+
+def test_write_read_roundtrip_buffered():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"f")
+        payload = bytes(range(256)) * 64  # 16 KiB
+        yield from fs.write(inode.ino, 0, payload)
+        return (yield from fs.read(inode.ino, 0, len(payload)))
+
+    assert run(env, flow()) == bytes(range(256)) * 64
+
+
+def test_write_read_roundtrip_direct():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"f")
+        payload = b"D" * 16384
+        yield from fs.write(inode.ino, 0, payload, direct=True)
+        return (yield from fs.read(inode.ino, 0, 16384, direct=True))
+
+    assert run(env, flow()) == b"D" * 16384
+
+
+def test_direct_write_visible_to_buffered_read():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"f")
+        yield from fs.write(inode.ino, 0, b"direct!" * 100, direct=True)
+        return (yield from fs.read(inode.ino, 0, 700))
+
+    assert run(env, flow()) == b"direct!" * 100
+
+
+def test_buffered_write_persists_via_fsync():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"f")
+        yield from fs.write(inode.ino, 0, b"to-disk" * 1000)
+        yield from fs.fsync(inode.ino)
+        # Drop the cache and read from the device.
+        fs.cache.invalidate_file(inode.ino)
+        return (yield from fs.read(inode.ino, 0, 7000))
+
+    assert run(env, flow()) == b"to-disk" * 1000
+
+
+def test_unaligned_write_rmw():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"f")
+        yield from fs.write(inode.ino, 0, b"0" * 10000, direct=True)
+        yield from fs.write(inode.ino, 5000, b"MIDDLE", direct=True)
+        return (yield from fs.read(inode.ino, 4998, 10, direct=True))
+
+    assert run(env, flow()) == b"00MIDDLE00"
+
+
+def test_sparse_file_reads_zeros():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"sparse")
+        yield from fs.write(inode.ino, 100000, b"tail")
+        head = yield from fs.read(inode.ino, 0, 8)
+        tail = yield from fs.read(inode.ino, 100000, 4)
+        return head, tail
+
+    head, tail = run(env, flow())
+    assert head == bytes(8) and tail == b"tail"
+
+
+def test_mkdir_and_readdir():
+    env, fs = build()
+
+    def flow():
+        d = yield from fs.mkdir(ROOT_INO, b"dir")
+        yield from fs.create(d.ino, b"a")
+        yield from fs.create(d.ino, b"b")
+        entries = yield from fs.readdir(d.ino)
+        return entries
+
+    entries = run(env, flow())
+    assert sorted(n for n, _ in entries) == [b"a", b"b"]
+
+
+def test_unlink_frees_blocks():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"victim")
+        yield from fs.write(inode.ino, 0, b"x" * 65536, direct=True)
+        before = fs.alloc.free_blocks()
+        yield from fs.unlink(ROOT_INO, b"victim")
+        after = fs.alloc.free_blocks()
+        entries = yield from fs.readdir(ROOT_INO)
+        return before, after, entries
+
+    before, after, entries = run(env, flow())
+    assert after == before + 16  # 64 KiB = 16 blocks returned
+    assert entries == []
+
+
+def test_unlink_missing_raises():
+    env, fs = build()
+
+    def flow():
+        try:
+            yield from fs.unlink(ROOT_INO, b"ghost")
+        except Ext4Error as e:
+            return e.errno_code
+
+    assert run(env, flow()) == Errno.ENOENT
+
+
+def test_rmdir_nonempty_rejected():
+    env, fs = build()
+
+    def flow():
+        d = yield from fs.mkdir(ROOT_INO, b"d")
+        yield from fs.create(d.ino, b"kid")
+        try:
+            yield from fs.rmdir(ROOT_INO, b"d")
+        except Ext4Error as e:
+            return e.errno_code
+
+    assert run(env, flow()) == Errno.ENOTEMPTY
+
+
+def test_rename_moves_entry():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"old")
+        yield from fs.write(inode.ino, 0, b"keep me")
+        d = yield from fs.mkdir(ROOT_INO, b"sub")
+        yield from fs.rename(ROOT_INO, b"old", d.ino, b"new")
+        got = yield from fs.lookup(d.ino, b"new")
+        data = yield from fs.read(got.ino, 0, 7)
+        root = yield from fs.readdir(ROOT_INO)
+        return data, [n for n, _ in root]
+
+    data, root_names = run(env, flow())
+    assert data == b"keep me"
+    assert root_names == [b"sub"]
+
+
+def test_truncate_shrinks_and_zeroes():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"t")
+        yield from fs.write(inode.ino, 0, b"z" * 20000)
+        free_before = fs.alloc.free_blocks()
+        yield from fs.truncate(inode.ino, 5000)
+        free_after = fs.alloc.free_blocks()
+        yield from fs.write(inode.ino, 9000, b"end")
+        data = yield from fs.read(inode.ino, 4998, 10)
+        return free_before, free_after, data
+
+    free_before, free_after, data = run(env, flow())
+    assert free_after > free_before
+    assert data == b"zz" + bytes(8)
+
+
+def test_journal_records_metadata_ops():
+    env, fs = build()
+
+    def flow():
+        yield from fs.create(ROOT_INO, b"a")
+        yield from fs.mkdir(ROOT_INO, b"b")
+
+    run(env, flow())
+    assert fs.journal.commits >= 2
+    assert fs.journal.blocks_journaled > 4
+
+
+def test_inode_survives_icache_eviction():
+    """Inodes written via the journal can be re-read from disk."""
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"persist")
+        yield from fs.write(inode.ino, 0, b"data!", direct=True)
+        yield from fs.journal.checkpoint()
+        fs._icache.pop(inode.ino)  # simulate icache pressure
+        st = yield from fs.stat(inode.ino)
+        data = yield from fs.read(inode.ino, 0, 5)
+        return st.size, data
+
+    size, data = run(env, flow())
+    assert size == 5 and data == b"data!"
+
+
+def test_reads_cheaper_when_cached():
+    env, fs = build()
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"hot")
+        yield from fs.write(inode.ino, 0, b"h" * 4096)
+        t0 = env.now
+        yield from fs.read(inode.ino, 0, 4096)  # cache hit (just written)
+        hit = env.now - t0
+        fs.cache.invalidate_file(inode.ino)
+        yield from fs.fsync(inode.ino)
+        t0 = env.now
+        yield from fs.read(inode.ino, 0, 4096)  # must hit the device
+        miss = env.now - t0
+        return hit, miss
+
+    hit, miss = run(env, flow())
+    assert miss > hit * 3
+
+
+def test_out_of_space():
+    env = Environment()
+    p = default_params()
+    ssd = NvmeSsd(env, capacity_blocks=5200)
+    cpu = CpuPool(env, 4)
+    fs = Ext4Fs(env, ssd, cpu, p, cache_pages=64, max_inodes=512)
+
+    def flow():
+        inode = yield from fs.create(ROOT_INO, b"big")
+        try:
+            yield from fs.write(inode.ino, 0, b"x" * (4096 * 4000), direct=True)
+        except Ext4Error as e:
+            return e.errno_code
+
+    assert run(env, flow()) == Errno.ENOSPC

@@ -1,0 +1,94 @@
+"""Model-based testing: the ext4-like FS vs an in-memory oracle."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.localfs.ext4sim import Ext4Error, Ext4Fs, ROOT_INO
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.nvme_device import NvmeSsd
+
+
+def build():
+    env = Environment()
+    p = default_params()
+    ssd = NvmeSsd(env, capacity_blocks=1 << 18)
+    cpu = CpuPool(env, 8, switch_cost=0)
+    fs = Ext4Fs(env, ssd, cpu, p, cache_pages=256, max_inodes=1024)
+    return env, fs
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "read", "truncate", "unlink", "fsync"]),
+        st.integers(0, 4),  # name selector
+        st.integers(0, 60000),  # offset / size
+        st.binary(min_size=0, max_size=15000),  # payload
+        st.booleans(),  # direct I/O?
+    ),
+    min_size=1,
+    max_size=18,
+)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=ops_strategy)
+def test_ext4_matches_oracle(ops):
+    env, fs = build()
+    names = [b"a", b"b", b"c", b"d", b"e"]
+    model: dict[bytes, bytearray] = {}
+    inos: dict[bytes, int] = {}
+
+    def scenario():
+        for kind, nsel, offset, payload, direct in ops:
+            name = names[nsel % len(names)]
+            if kind == "create":
+                if name in model:
+                    with pytest.raises(Ext4Error):
+                        yield from fs.create(ROOT_INO, name)
+                else:
+                    inode = yield from fs.create(ROOT_INO, name)
+                    inos[name] = inode.ino
+                    model[name] = bytearray()
+            elif name not in model:
+                continue
+            elif kind == "write":
+                if not payload:
+                    continue
+                buf = model[name]
+                if len(buf) < offset + len(payload):
+                    buf.extend(b"\0" * (offset + len(payload) - len(buf)))
+                buf[offset : offset + len(payload)] = payload
+                yield from fs.write(inos[name], offset, payload, direct=direct)
+            elif kind == "read":
+                got = yield from fs.read(inos[name], offset, 20000, direct=direct)
+                assert got == bytes(model[name][offset : offset + 20000])
+            elif kind == "truncate":
+                size = offset
+                buf = model[name]
+                if size <= len(buf):
+                    model[name] = buf[:size]
+                else:
+                    buf.extend(b"\0" * (size - len(buf)))
+                yield from fs.truncate(inos[name], size)
+                st_ = yield from fs.stat(inos[name])
+                assert st_.size == len(model[name])
+            elif kind == "unlink":
+                yield from fs.unlink(ROOT_INO, name)
+                del model[name]
+                del inos[name]
+            elif kind == "fsync":
+                yield from fs.fsync(inos[name])
+        # Final: every live file reads back exactly, and the listing agrees.
+        for name, buf in model.items():
+            got = yield from fs.read(inos[name], 0, max(len(buf), 1))
+            assert got == bytes(buf), f"content mismatch for {name!r}"
+        entries = yield from fs.readdir(ROOT_INO)
+        assert sorted(n for n, _ in entries) == sorted(model)
+
+    env.run(until=env.process(scenario()))

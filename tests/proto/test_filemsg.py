@@ -1,0 +1,99 @@
+"""Codec tests for the native file-semantic messages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.filemsg import (
+    Errno,
+    FileAttr,
+    FileOp,
+    FileRequest,
+    FileResponse,
+    pack_dirents,
+    unpack_dirents,
+)
+
+
+def test_request_roundtrip_basic():
+    req = FileRequest(FileOp.WRITE, ino=42, offset=8192, length=4096, flags=3)
+    assert FileRequest.unpack(req.pack()) == req
+
+
+def test_request_roundtrip_with_names():
+    req = FileRequest(
+        FileOp.RENAME, ino=1, aux_ino=2, name=b"old.txt", extra=b"new.txt"
+    )
+    out = FileRequest.unpack(req.pack())
+    assert out.name == b"old.txt"
+    assert out.extra == b"new.txt"
+    assert out.aux_ino == 2
+
+
+def test_request_name_limit_enforced():
+    req = FileRequest(FileOp.CREATE, name=b"x" * 1025)
+    with pytest.raises(ValueError):
+        req.pack()
+
+
+def test_request_wire_size_matches_pack():
+    req = FileRequest(FileOp.LOOKUP, ino=7, name=b"etc")
+    assert req.wire_size() == len(req.pack())
+
+
+def test_response_roundtrip_with_attr():
+    attr = FileAttr(ino=9, size=1234, mode=0o100644, mtime=777)
+    resp = FileResponse(Errno.OK, aux=5, size=1234, attr=attr, data=b"extra")
+    out = FileResponse.unpack(resp.pack())
+    assert out.attr == attr
+    assert out.data == b"extra"
+    assert out.ok
+
+
+def test_response_error_status():
+    resp = FileResponse(Errno.ENOENT)
+    out = FileResponse.unpack(resp.pack())
+    assert out.status == Errno.ENOENT
+    assert not out.ok
+
+
+def test_attr_pack_size_is_64():
+    assert len(FileAttr(ino=1).pack()) == 64
+
+
+def test_attr_is_dir():
+    assert FileAttr(ino=1, mode=0o040755).is_dir
+    assert not FileAttr(ino=1, mode=0o100644).is_dir
+
+
+def test_dirents_roundtrip():
+    entries = [(b"a.txt", 10, False), (b"subdir", 11, True), (b"b", 12, False)]
+    assert unpack_dirents(pack_dirents(entries)) == entries
+
+
+def test_dirents_empty():
+    assert unpack_dirents(pack_dirents([])) == []
+
+
+@given(
+    op=st.sampled_from(list(FileOp)),
+    ino=st.integers(0, 2**64 - 1),
+    offset=st.integers(0, 2**64 - 1),
+    length=st.integers(0, 2**64 - 1),
+    flags=st.integers(0, 2**16 - 1),
+    name=st.binary(max_size=64),
+    extra=st.binary(max_size=64),
+)
+def test_request_roundtrip_property(op, ino, offset, length, flags, name, extra):
+    req = FileRequest(op, ino=ino, offset=offset, length=length, flags=flags, name=name, extra=extra)
+    assert FileRequest.unpack(req.pack()) == req
+
+
+@given(
+    status=st.sampled_from(list(Errno)),
+    aux=st.integers(0, 2**32 - 1),
+    size=st.integers(0, 2**64 - 1),
+    data=st.binary(max_size=128),
+)
+def test_response_roundtrip_property(status, aux, size, data):
+    resp = FileResponse(status, aux, size, None, data)
+    assert FileResponse.unpack(resp.pack()) == resp

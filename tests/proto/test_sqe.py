@@ -1,0 +1,164 @@
+"""Bit-level tests for the nvme-fs SQE/CQE codec (paper §3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.nvme.sqe import CQE_SIZE, Cqe, NVMEFS_OPCODE, ReqType, SQE_SIZE, Sqe
+
+
+def test_opcode_is_0xa3():
+    assert NVMEFS_OPCODE == 0xA3
+
+
+def test_opcode_bit_dissection_matches_paper():
+    """§3.2: low two bits 11b (bidirectional), bits 2-6 01000b (function),
+    high bit 1b (vendor custom)."""
+    sqe = Sqe(cid=0)
+    assert sqe.is_bidirectional
+    assert sqe.function_code == 0b01000
+    assert sqe.is_vendor_custom
+    assert NVMEFS_OPCODE & 0b11 == 0b11
+    assert (NVMEFS_OPCODE >> 2) & 0b11111 == 0b01000
+    assert NVMEFS_OPCODE >> 7 == 1
+
+
+def test_sqe_is_64_bytes():
+    sqe = Sqe(cid=1, prp_write1=0x1000, write_len=8192, wh_len=56, rh_len=512)
+    assert len(sqe.pack()) == SQE_SIZE == 64
+
+
+def test_sqe_roundtrip():
+    sqe = Sqe(
+        cid=0x1234,
+        req_type=ReqType.DISTRIBUTED,
+        prp_write1=0xDEAD000,
+        prp_write2=0xDEAE000,
+        prp_read1=0xBEEF000,
+        prp_read2=0,
+        write_len=8192,
+        read_len=4096,
+        wh_len=56,
+        rh_len=512,
+    )
+    assert Sqe.unpack(sqe.pack()) == sqe
+
+
+def test_sqe_dispatch_bit_in_dword0_bit10():
+    raw_standalone = Sqe(cid=0, req_type=ReqType.STANDALONE).pack()
+    raw_distributed = Sqe(cid=0, req_type=ReqType.DISTRIBUTED).pack()
+    dw0_s = int.from_bytes(raw_standalone[:4], "little")
+    dw0_d = int.from_bytes(raw_distributed[:4], "little")
+    assert (dw0_s >> 10) & 1 == 0
+    assert (dw0_d >> 10) & 1 == 1
+
+
+def test_sqe_psdt_bits_14_15():
+    raw = Sqe(cid=0, sgl_write=True, sgl_read=False).pack()
+    dw0 = int.from_bytes(raw[:4], "little")
+    assert (dw0 >> 14) & 1 == 1
+    assert (dw0 >> 15) & 1 == 0
+    raw = Sqe(cid=0, sgl_write=False, sgl_read=True).pack()
+    dw0 = int.from_bytes(raw[:4], "little")
+    assert (dw0 >> 14) & 1 == 0
+    assert (dw0 >> 15) & 1 == 1
+
+
+def test_sqe_default_prp_mode():
+    """PRP is the default: both PSDT bits zero."""
+    raw = Sqe(cid=0).pack()
+    dw0 = int.from_bytes(raw[:4], "little")
+    assert (dw0 >> 14) & 0b11 == 0
+
+
+def test_sqe_cid_in_dword0_high_half():
+    raw = Sqe(cid=0xABCD).pack()
+    dw0 = int.from_bytes(raw[:4], "little")
+    assert (dw0 >> 16) & 0xFFFF == 0xABCD
+
+
+def test_sqe_header_lens_in_dword13():
+    raw = Sqe(cid=0, rh_len=0x0102, wh_len=0x0304).pack()
+    dw13 = int.from_bytes(raw[52:56], "little")
+    assert dw13 & 0xFFFF == 0x0102  # RH_len low half
+    assert (dw13 >> 16) & 0xFFFF == 0x0304  # WH_len high half
+
+
+def test_sqe_prp_fields_in_dwords_2_to_9():
+    raw = Sqe(
+        cid=0, prp_write1=0x1111, prp_write2=0x2222, prp_read1=0x3333, prp_read2=0x4444
+    ).pack()
+    assert int.from_bytes(raw[8:16], "little") == 0x1111  # dword2-3
+    assert int.from_bytes(raw[16:24], "little") == 0x2222  # dword4-5
+    assert int.from_bytes(raw[24:32], "little") == 0x3333  # dword6-7
+    assert int.from_bytes(raw[32:40], "little") == 0x4444  # dword8-9
+
+
+def test_sqe_lengths_in_dwords_10_11():
+    raw = Sqe(cid=0, write_len=8192, read_len=4096).pack()
+    assert int.from_bytes(raw[40:44], "little") == 8192  # dword10
+    assert int.from_bytes(raw[44:48], "little") == 4096  # dword11
+
+
+def test_sqe_cid_range_checked():
+    with pytest.raises(ValueError):
+        Sqe(cid=0x10000).pack()
+
+
+def test_sqe_header_len_range_checked():
+    with pytest.raises(ValueError):
+        Sqe(cid=0, wh_len=0x10000).pack()
+
+
+def test_sqe_bad_size_rejected():
+    with pytest.raises(ValueError):
+        Sqe.unpack(b"\0" * 63)
+
+
+def test_cqe_roundtrip():
+    cqe = Cqe(cid=77, status=5, result=8192, sq_head=3, sq_id=1, phase=1)
+    assert Cqe.unpack(cqe.pack()) == cqe
+    assert len(cqe.pack()) == CQE_SIZE == 16
+
+
+def test_cqe_bad_size_rejected():
+    with pytest.raises(ValueError):
+        Cqe.unpack(b"\0" * 8)
+
+
+@given(
+    cid=st.integers(0, 0xFFFF),
+    req_type=st.integers(0, 1),
+    pw1=st.integers(0, 2**64 - 1),
+    pr1=st.integers(0, 2**64 - 1),
+    wlen=st.integers(0, 2**32 - 1),
+    rlen=st.integers(0, 2**32 - 1),
+    whl=st.integers(0, 0xFFFF),
+    rhl=st.integers(0, 0xFFFF),
+    sglw=st.booleans(),
+    sglr=st.booleans(),
+)
+def test_sqe_roundtrip_property(cid, req_type, pw1, pr1, wlen, rlen, whl, rhl, sglw, sglr):
+    sqe = Sqe(
+        cid=cid,
+        req_type=req_type,
+        prp_write1=pw1,
+        prp_read1=pr1,
+        write_len=wlen,
+        read_len=rlen,
+        wh_len=whl,
+        rh_len=rhl,
+        sgl_write=sglw,
+        sgl_read=sglr,
+    )
+    assert Sqe.unpack(sqe.pack()) == sqe
+
+
+@given(
+    cid=st.integers(0, 0xFFFF),
+    status=st.integers(0, 0x7FFF),
+    result=st.integers(0, 2**32 - 1),
+    phase=st.integers(0, 1),
+)
+def test_cqe_roundtrip_property(cid, status, result, phase):
+    cqe = Cqe(cid=cid, status=status, result=result, phase=phase)
+    assert Cqe.unpack(cqe.pack()) == cqe

@@ -1,0 +1,332 @@
+"""Unit tests for the DES kernel (events, processes, conditions)."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [1.5, 2.0]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1)
+        return 42
+
+    def outer():
+        value = yield env.process(inner())
+        return value + 1
+
+    p = env.process(outer())
+    assert env.run(until=p) == 43
+
+
+def test_event_succeed_and_value():
+    env = Environment()
+    ev = env.event()
+    results = []
+
+    def waiter():
+        v = yield ev
+        results.append(v)
+
+    def firer():
+        yield env.timeout(3)
+        ev.succeed("payload")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert results == ["payload"]
+    assert ev.ok and ev.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_aborts_simulation():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("unseen")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unseen"):
+        env.run()
+
+
+def test_watched_process_failure_does_not_abort():
+    env = Environment()
+    seen = []
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("seen")
+
+    def watcher():
+        try:
+            yield env.process(bad())
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    env.process(watcher())
+    env.run()
+    assert seen == ["seen"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_yield_non_event_rejected():
+    env = Environment()
+
+    def bad():
+        yield 5
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run(until=4.5)
+    assert env.now == 4.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.event()
+
+    def firer():
+        yield env.timeout(2)
+        ev.succeed("done")
+
+    env.process(firer())
+    assert env.run(until=ev) == "done"
+    assert env.now == 2
+
+
+def test_run_until_never_fired_event_raises():
+    env = Environment()
+    ev = env.event()
+
+    def proc():
+        yield env.timeout(1)
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        result = yield env.all_of([t1, t2])
+        times.append(env.now)
+        assert set(result.values()) == {"a", "b"}
+
+    env.process(proc())
+    env.run()
+    assert times == [3]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        result = yield env.any_of([t1, t2])
+        times.append(env.now)
+        assert list(result.values()) == ["fast"]
+
+    env.process(proc())
+    env.run()
+    assert times == [1]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            causes.append((env.now, i.cause))
+
+    def attacker(p):
+        yield env.timeout(2)
+        p.interrupt("revoked")
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert causes == [(2, "revoked")]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    def attacker(p):
+        yield env.timeout(5)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+
+
+def test_determinism_same_seed_same_trace():
+    def build():
+        env = Environment()
+        trace = []
+
+        def worker(i, delay):
+            yield env.timeout(delay)
+            trace.append((env.now, i))
+            yield env.timeout(delay)
+            trace.append((env.now, i))
+
+        for i in range(20):
+            env.process(worker(i, 1 + (i % 3)))
+        env.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_same_time_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def worker(i):
+        yield env.timeout(1)
+        order.append(i)
+
+    for i in range(10):
+        env.process(worker(i))
+    env.run()
+    assert order == list(range(10))
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    values = []
+
+    def proc():
+        t = env.timeout(1, value="x")
+        yield env.timeout(5)
+        # t has long fired; yielding it must resume immediately with its value
+        v = yield t
+        values.append((env.now, v))
+
+    env.process(proc())
+    env.run()
+    assert values == [(5, "x")]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_nested_process_chain():
+    env = Environment()
+
+    def level3():
+        yield env.timeout(1)
+        return "deep"
+
+    def level2():
+        v = yield env.process(level3())
+        return v + "er"
+
+    def level1():
+        v = yield env.process(level2())
+        return v + "!"
+
+    p = env.process(level1())
+    assert env.run(until=p) == "deep" + "er" + "!"

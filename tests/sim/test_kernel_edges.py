@@ -1,0 +1,201 @@
+"""Additional DES kernel edge cases and conservation properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.core import AnyOf, Environment, Interrupt, SimulationError
+from repro.sim.resources import Resource, Store, TokenBucket
+
+
+def test_anyof_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("early death")
+
+    def waiter():
+        p = env.process(failer())
+        t = env.timeout(100)
+        try:
+            yield env.any_of([p, t])
+        except ValueError as e:
+            caught.append(str(e))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["early death"]
+
+
+def test_interrupt_while_waiting_on_resource():
+    env = Environment()
+    res = Resource(env, 1)
+    outcome = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+            outcome.append("granted")
+        except Interrupt:
+            res.release(req)  # cancel the queued request
+            outcome.append("interrupted")
+
+    def attacker(p):
+        yield env.timeout(5)
+        p.interrupt()
+
+    env.process(holder())
+    p = env.process(waiter())
+    env.process(attacker(p))
+    env.run()
+    assert outcome == ["interrupted"]
+    assert res.queue_len == 0
+
+
+def test_interrupt_cause_roundtrip_and_resume():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            log.append(i.cause)
+        # The process continues normally after handling the interrupt.
+        yield env.timeout(1)
+        log.append(env.now)
+
+    def attacker(p):
+        yield env.timeout(3)
+        p.interrupt({"reason": "lease revoked"})
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert log == [{"reason": "lease revoked"}, 4]
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_store_fifo_under_heavy_interleaving():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(50):
+            yield store.put(i)
+            if i % 7 == 0:
+                yield env.timeout(1)
+
+    def consumer():
+        for _ in range(50):
+            v = yield store.get()
+            got.append(v)
+            if v % 5 == 0:
+                yield env.timeout(1)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == list(range(50))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=20),
+    rate=st.floats(1e3, 1e9),
+)
+def test_tokenbucket_aggregate_throughput_conserved(sizes, rate):
+    """N transfers through one pipe finish no earlier than sum(bytes)/rate."""
+    env = Environment()
+    pipe = TokenBucket(env, rate)
+    done = []
+
+    def sender(n):
+        yield pipe.transfer(n)
+        done.append(env.now)
+
+    for n in sizes:
+        env.process(sender(n))
+    env.run()
+    assert len(done) == len(sizes)
+    total_time = max(done)
+    assert total_time >= sum(sizes) / rate * 0.999999
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 5),
+    holds=st.lists(st.floats(0.1, 3.0), min_size=1, max_size=15),
+)
+def test_resource_never_oversubscribed(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity)
+    max_seen = [0]
+
+    def user(hold):
+        req = res.request()
+        yield req
+        max_seen[0] = max(max_seen[0], res.count)
+        yield env.timeout(hold)
+        res.release(req)
+
+    for h in holds:
+        env.process(user(h))
+    env.run()
+    assert max_seen[0] <= capacity
+    assert res.count == 0
+
+
+def test_process_interrupting_itself_rejected():
+    env = Environment()
+
+    def selfish():
+        yield env.timeout(0)
+        me = env.active_process
+        with pytest.raises(SimulationError):
+            me.interrupt()
+
+    env.process(selfish())
+    env.run()
+
+
+def test_clock_never_goes_backwards():
+    env = Environment()
+    stamps = []
+
+    def proc(delay):
+        for _ in range(5):
+            yield env.timeout(delay)
+            stamps.append(env.now)
+
+    for d in (0.5, 1.0, 0.3):
+        env.process(proc(d))
+    env.run()
+    assert stamps == sorted(stamps)

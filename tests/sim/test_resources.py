@@ -1,0 +1,292 @@
+"""Unit tests for Resource, Store and TokenBucket."""
+
+import pytest
+
+from repro.sim.core import Environment, SimulationError
+from repro.sim.resources import Resource, Store, TokenBucket
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_serialises_single_capacity():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(2)
+        res.release(req)
+        spans.append((i, start, env.now))
+
+    for i in range(3):
+        env.process(user(i))
+    env.run()
+    assert spans == [(0, 0, 2), (1, 2, 4), (2, 4, 6)]
+
+
+def test_resource_capacity_two_runs_pairs():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    finishes = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        yield env.timeout(1)
+        res.release(req)
+        finishes.append((i, env.now))
+
+    for i in range(4):
+        env.process(user(i))
+    env.run()
+    assert [t for _, t in finishes] == [1, 1, 2, 2]
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(i):
+        req = res.request()
+        yield req
+        order.append(i)
+        yield env.timeout(1)
+        res.release(req)
+
+    for i in range(5):
+        env.process(user(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def impatient():
+        req = res.request()
+        yield env.timeout(1)
+        res.release(req)  # cancel while still queued
+
+    def patient():
+        req = res.request()
+        yield req
+        granted.append(env.now)
+        res.release(req)
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert granted == [10]
+
+
+def test_resource_release_foreign_request_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    other = Resource(env, capacity=1)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_counters():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user():
+        req = res.request()
+        yield req
+        assert res.count >= 1
+        yield env.timeout(1)
+        res.release(req)
+
+    for _ in range(3):
+        env.process(user())
+    env.run()
+    assert res.count == 0
+    assert res.total_grants == 3
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            got = store.get()
+            v = yield got
+            out.append((env.now, v))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [v for _, v in out] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        v = yield store.get()
+        times.append((env.now, v))
+
+    def producer():
+        yield env.timeout(5)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(5, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put("a")
+        events.append(("a-in", env.now))
+        yield store.put("b")
+        events.append(("b-in", env.now))
+
+    def consumer():
+        yield env.timeout(4)
+        v = yield store.get()
+        events.append((f"{v}-out", env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("a-in", 0) in events
+    assert ("b-in", 4) in events  # blocked until 'a' consumed
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.put("z")
+
+    def check():
+        yield env.timeout(0)
+        ok2, item2 = store.try_get()
+        assert ok2 and item2 == "z"
+
+    env.process(check())
+    env.run()
+
+
+def test_store_handoff_to_waiting_getter():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def consumer(i):
+        v = yield store.get()
+        out.append((i, v))
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put("first")
+        yield store.put("second")
+
+    env.process(consumer(0))
+    env.process(consumer(1))
+    env.process(producer())
+    env.run()
+    assert out == [(0, "first"), (1, "second")]
+
+
+# ---------------------------------------------------------------- TokenBucket
+def test_tokenbucket_idle_transfer_time():
+    env = Environment()
+    pipe = TokenBucket(env, rate=100.0)  # 100 B/s
+    done_at = []
+
+    def sender():
+        yield pipe.transfer(50)
+        done_at.append(env.now)
+
+    env.process(sender())
+    env.run()
+    assert done_at == [pytest.approx(0.5)]
+
+
+def test_tokenbucket_serialises_concurrent_transfers():
+    env = Environment()
+    pipe = TokenBucket(env, rate=100.0)
+    done_at = []
+
+    def sender(i):
+        yield pipe.transfer(100)
+        done_at.append((i, env.now))
+
+    env.process(sender(0))
+    env.process(sender(1))
+    env.run()
+    # Aggregate throughput preserved: 200 bytes take 2 seconds total.
+    assert done_at[0] == (0, pytest.approx(1.0))
+    assert done_at[1] == (1, pytest.approx(2.0))
+
+
+def test_tokenbucket_traffic_counter():
+    env = Environment()
+    pipe = TokenBucket(env, rate=1000.0)
+
+    def sender():
+        yield pipe.transfer(300)
+        yield pipe.transfer(200)
+
+    env.process(sender())
+    env.run()
+    assert pipe.bytes_total == 500
+    assert pipe.utilisation(1.0) == pytest.approx(0.5)
+
+
+def test_tokenbucket_zero_bytes_is_instant():
+    env = Environment()
+    pipe = TokenBucket(env, rate=10.0)
+    done = []
+
+    def sender():
+        yield pipe.transfer(0)
+        done.append(env.now)
+
+    env.process(sender())
+    env.run()
+    assert done == [0.0]
+
+
+def test_tokenbucket_rejects_bad_rate():
+    env = Environment()
+    with pytest.raises(ValueError):
+        TokenBucket(env, rate=0)

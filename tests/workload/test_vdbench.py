@@ -1,0 +1,100 @@
+"""vdbench-style config parser tests."""
+
+import pytest
+
+from repro.workload.vdbench import VdbenchConfig, parse, parse_size
+
+
+def test_parse_size_units():
+    assert parse_size("8k") == 8192
+    assert parse_size("1m") == 1 << 20
+    assert parse_size("2G") == 2 << 30
+    assert parse_size("512") == 512
+    assert parse_size("1.5k") == 1536
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_size("8kb")
+    with pytest.raises(ValueError):
+        parse_size("lots")
+
+
+CONFIG = """
+# the paper's motivation mix
+wd=mix,rdpct=70,xfersize=8k,seekpct=100
+wd=seqr,rdpct=100,xfersize=1m,seekpct=0
+rd=run_mix,wd=mix,threads=32
+rd=run_seq,wd=seqr,threads=16
+"""
+
+
+def test_parse_full_config():
+    cfg = parse(CONFIG)
+    assert set(cfg.wds) == {"mix", "seqr"}
+    assert cfg.wds["mix"].rdpct == 70
+    assert cfg.wds["mix"].xfersize == 8192
+    assert [rd["name"] for rd in cfg.rds] == ["run_mix", "run_seq"]
+
+
+def test_jobs_materialise_modes():
+    cfg = parse(CONFIG)
+    jobs = {j.name: j for j in cfg.jobs()}
+    assert jobs["run_mix"].mode == "randrw"
+    assert jobs["run_mix"].read_fraction == pytest.approx(0.7)
+    assert jobs["run_mix"].nthreads == 32
+    assert jobs["run_seq"].mode == "seqread"
+    assert jobs["run_seq"].block_size == 1 << 20
+
+
+def test_pure_read_write_modes():
+    cfg = parse(
+        "wd=r,rdpct=100,xfersize=4k,seekpct=100\n"
+        "wd=w,rdpct=0,xfersize=4k,seekpct=100\n"
+        "wd=sw,rdpct=0,xfersize=1m,seekpct=0\n"
+        "rd=a,wd=r\nrd=b,wd=w\nrd=c,wd=sw\n"
+    )
+    modes = [j.mode for j in cfg.jobs()]
+    assert modes == ["randread", "randwrite", "seqwrite"]
+
+
+def test_rd_unknown_wd_rejected():
+    with pytest.raises(ValueError):
+        parse("rd=x,wd=nope,threads=4")
+
+
+def test_no_rd_rejected():
+    with pytest.raises(ValueError):
+        parse("wd=only,rdpct=50")
+
+
+def test_comments_and_blanks_ignored():
+    cfg = parse("\n# comment only\nwd=w,xfersize=8k\nrd=r,wd=w\n")
+    assert len(cfg.rds) == 1
+
+
+def test_jobs_run_against_synthetic_target():
+    from repro.sim.core import Environment
+    from repro.workload.runner import run_job
+
+    class T:
+        def __init__(self, env):
+            self.env = env
+            self.ops = 0
+
+        def read(self, off, n):
+            yield self.env.timeout(1e-6)
+            self.ops += 1
+            return b"\0" * n
+
+        def write(self, off, data):
+            yield self.env.timeout(1e-6)
+            self.ops += 1
+
+    cfg = parse(CONFIG)
+    for spec in cfg.jobs(ops_per_thread=5):
+        env = Environment()
+        t = T(env)
+        result = run_job(env, spec, lambda tid: t)
+        assert t.ops == spec.nthreads * 5
+        assert result.iops > 0
