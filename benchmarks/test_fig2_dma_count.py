@@ -7,13 +7,23 @@ def test_fig2_dma_count(once):
     table = once(fig2_dma.run)
     print()
     print(table.render())
-    rows = {(r[0], r[1], r[2]): r[3] for r in table.rows}
+    rows = {(r[0], r[1], r[2]): r[3:] for r in table.rows}
     # The paper's headline counts, exactly.
-    assert rows[("virtio-fs", "write", 8192)] == 11
-    assert rows[("virtio-fs", "read", 8192)] == 11
-    assert rows[("nvme-fs", "write", 8192)] == 4
-    assert rows[("nvme-fs", "read", 8192)] == 4
+    assert rows[("virtio-fs", "write", 8192)][0] == 11
+    assert rows[("virtio-fs", "read", 8192)][0] == 11
+    assert rows[("nvme-fs", "write", 8192)][0] == 4
+    assert rows[("nvme-fs", "read", 8192)][0] == 4
+    # An isolated nvme-fs op also costs exactly one doorbell MMIO and one
+    # completion interrupt: coalescing must not defer the idle-queue path.
+    for rw in ("write", "read"):
+        for size in (4096, 8192, 65536):
+            _ops, doorbells, interrupts = rows[("nvme-fs", rw, size)]
+            assert doorbells == 1, (rw, size, doorbells)
+            assert interrupts == 1, (rw, size, interrupts)
     # nvme-fs stays flat with size; virtio-fs never gets close.
     for size in (4096, 8192, 65536):
-        assert rows[("nvme-fs", "write", size)] == 4
-        assert rows[("virtio-fs", "write", size)] >= 2 * rows[("nvme-fs", "write", size)]
+        assert rows[("nvme-fs", "write", size)][0] == 4
+        assert (
+            rows[("virtio-fs", "write", size)][0]
+            >= 2 * rows[("nvme-fs", "write", size)][0]
+        )

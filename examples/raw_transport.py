@@ -18,7 +18,7 @@ def main() -> None:
     for kind in ("virtio-fs", "nvme-fs"):
         counts = fig2_dma.count_dmas(kind, "write", 8192)
         tags = ", ".join(f"{k}x{v}" for k, v in sorted(counts["by_tag"].items())
-                         if k not in ("sq-doorbell", "virtio-kick"))
+                         if k not in ("sq-doorbell", "virtio-kick", "cq-irq", "used-irq"))
         print(f"  {kind:>9}: {counts['ops']:2d}  ({tags})")
     print()
 

@@ -151,6 +151,25 @@ class CacheControlPlane:
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown cache control message {kind!r}")
 
+    # ------------------------------------------------------------------ plumbing
+    def _parallel(self, gens: list) -> Generator[Event, None, list]:
+        procs = [self.env.process(g) for g in gens]
+        if not procs:
+            return []
+        results = yield self.env.all_of(procs)
+        return [results[p] for p in procs]
+
+    @staticmethod
+    def _runs(indices: list[int]) -> list[tuple[int, int]]:
+        """Split sorted indices into contiguous ``(start, count)`` runs."""
+        runs: list[tuple[int, int]] = []
+        for idx in indices:
+            if runs and idx == runs[-1][0] + runs[-1][1]:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((idx, 1))
+        return runs
+
     # ------------------------------------------------------------------ DMA meta access
     def _dma_read_entry(self, index: int) -> Generator[Event, None, dict]:
         raw = yield from self.link.dma_read(
@@ -199,50 +218,97 @@ class CacheControlPlane:
 
     def _flush_bucket(self, bucket: int, budget: int) -> Generator[Event, None, int]:
         entries = yield from self._dma_read_bucket(bucket)
-        flushed = 0
-        for idx, ent in entries:
-            if flushed >= budget:
-                self._dirty_buckets.add(bucket)
-                break
-            if ent["status"] != ST_DIRTY or ent["lock"] != LOCK_FREE:
-                continue
-            n = yield from self._flush_entry(idx)
-            flushed += n
-        return flushed
+        candidates = [
+            idx
+            for idx, ent in entries
+            if ent["status"] == ST_DIRTY and ent["lock"] == LOCK_FREE
+        ]
+        if len(candidates) > budget:
+            self._dirty_buckets.add(bucket)  # revisit next period
+            candidates = candidates[:budget]
+        if not candidates:
+            return 0
+        return (yield from self._flush_entries(candidates))
+
+    def _flush_entries(self, idxs: list[int]) -> Generator[Event, None, int]:
+        """Write back a batch of dirty pages with batched PCIe rounds.
+
+        Locks are taken in one parallel CAS round, the still-dirty entries
+        and their pages are pulled in contiguous burst DMAs (entries and
+        pages are laid out by index, so a dirty run costs one transaction,
+        not one per page), writebacks overlap, and the unlock CAS round is
+        parallel again — the batch pays round-trip latency O(rounds), not
+        O(pages).
+        """
+        lay = self.layout
+        locked_flags = yield from self._parallel(
+            [self._try_lock_read(idx) for idx in idxs]
+        )
+        locked = sorted(idx for idx, ok in zip(idxs, locked_flags) if ok)
+        if not locked:
+            return 0
+        # Re-read the locked entries (burst per contiguous run) — the host
+        # may have raced a write or an invalidate before our lock landed.
+        ents: dict[int, dict] = {}
+        for start, n in self._runs(locked):
+            raw = yield from self.link.dma_read(
+                lay.entry_addr(start), n * ENTRY_SIZE, tag="meta-read"
+            )
+            if n > 1:
+                self.link.stats.record_burst("meta-read", n)
+            for j in range(n):
+                lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack_from(raw, j * ENTRY_SIZE)
+                ents[start + j] = {
+                    "lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode,
+                }
+        dirty = [idx for idx in locked if ents[idx]["status"] == ST_DIRTY]
+        # Pull the page data in contiguous burst reads.
+        pages: dict[int, bytes] = {}
+        for start, n in self._runs(dirty):
+            raw = yield from self.link.dma_read(
+                lay.page_addr(start), n * lay.page_size, tag="flush-data"
+            )
+            if n > 1:
+                self.link.stats.record_burst("flush-data", n)
+            for j in range(n):
+                pages[start + j] = raw[j * lay.page_size : (j + 1) * lay.page_size]
+        yield from self._parallel(
+            [self._writeback_one(idx, ents[idx], pages[idx]) for idx in dirty]
+        )
+        yield from self._parallel([self._unlock_read(idx) for idx in locked])
+        return len(dirty)
+
+    def _try_lock_read(self, idx: int) -> Generator[Event, None, bool]:
+        return (
+            yield from self.link.atomic_cas_u32(
+                self.layout.lock_addr(idx), LOCK_FREE, LOCK_READ, tag="lock-cas"
+            )
+        )
+
+    def _unlock_read(self, idx: int) -> Generator[Event, None, None]:
+        yield from self.link.atomic_cas_u32(
+            self.layout.lock_addr(idx), LOCK_READ, LOCK_FREE, tag="lock-cas"
+        )
+
+    def _writeback_one(self, idx: int, ent: dict, data: bytes) -> Generator[Event, None, None]:
+        """Backend processing for one locked dirty page (EC/compression run
+        here in the paper; we compute the DIF guard tag on the DPU)."""
+        yield from self.dpu_cpu.execute(
+            self.params.dpu_cache_ctrl_cost, tag="cache-flush"
+        )
+        if self.dif_enabled:
+            yield from self.dpu_cpu.execute(0.3e-6, tag="cache-dif")
+            self._dif[(ent["inode"], ent["lpn"])] = zlib.crc32(data)
+        yield from self.writeback(ent["inode"], ent["lpn"], data)
+        # Mark clean: 4-byte DMA write of the status field.
+        yield from self.link.dma_write(
+            self.layout.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="flush-status"
+        )
+        self.flushed_pages += 1
 
     def _flush_entry(self, idx: int) -> Generator[Event, None, int]:
         """Write back one dirty page; returns 1 if flushed."""
-        lay = self.layout
-        ok = yield from self.link.atomic_cas_u32(
-            lay.lock_addr(idx), LOCK_FREE, LOCK_READ, tag="lock-cas"
-        )
-        if not ok:
-            return 0
-        ent = yield from self._dma_read_entry(idx)
-        flushed = 0
-        if ent["status"] == ST_DIRTY:
-            data = yield from self.link.dma_read(
-                lay.page_addr(idx), lay.page_size, tag="flush-data"
-            )
-            # Backend processing (EC/compression run here in the paper; we
-            # compute the DIF guard tag on the DPU).
-            yield from self.dpu_cpu.execute(
-                self.params.dpu_cache_ctrl_cost, tag="cache-flush"
-            )
-            if self.dif_enabled:
-                yield from self.dpu_cpu.execute(0.3e-6, tag="cache-dif")
-                self._dif[(ent["inode"], ent["lpn"])] = zlib.crc32(data)
-            yield from self.writeback(ent["inode"], ent["lpn"], data)
-            # Mark clean: 4-byte DMA write of the status field.
-            yield from self.link.dma_write(
-                lay.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="flush-status"
-            )
-            self.flushed_pages += 1
-            flushed = 1
-        yield from self.link.atomic_cas_u32(
-            lay.lock_addr(idx), LOCK_READ, LOCK_FREE, tag="lock-cas"
-        )
-        return flushed
+        return (yield from self._flush_entries([idx]))
 
     def flush_all(self) -> Generator[Event, None, int]:
         """Synchronously flush every dirty page (fsync/unmount path).
@@ -463,6 +529,11 @@ class CacheControlPlane:
         for key in [k for k in self._dif if k[0] == inode]:
             del self._dif[key]
 
+    def dif_drop_range(self, inode: int, lpn: int, count: int) -> None:
+        """Forget the guard tags of a contiguous page run in one call."""
+        for i in range(count):
+            self._dif.pop((inode, lpn + i), None)
+
     def fill(self, inode: int, lpn: int, data: bytes) -> Generator[Event, None, bool]:
         """Install a page into the host cache from the DPU side (clean)."""
         if not self._dif_ok(inode, lpn, data):
@@ -503,3 +574,18 @@ class CacheControlPlane:
             self.policy.touch(idx)
             return True
         return False
+
+    def fill_run(
+        self, inode: int, first_lpn: int, pages: list[bytes]
+    ) -> Generator[Event, None, int]:
+        """Install a contiguous run of pages in one batched call.
+
+        One control-plane invocation installs the whole run: the per-page
+        bucket walks proceed in parallel (pages hash to independent buckets)
+        instead of one spawned process per 4 KiB page.  Returns the number
+        of pages actually installed.
+        """
+        results = yield from self._parallel(
+            [self.fill(inode, first_lpn + i, page) for i, page in enumerate(pages)]
+        )
+        return sum(1 for ok in results if ok)

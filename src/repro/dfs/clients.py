@@ -24,7 +24,7 @@ from typing import Generator, Optional
 
 from ..ec import StripeLayout
 from ..params import SystemParams
-from ..proto.filemsg import FileAttr
+from ..proto.filemsg import Errno, FileAttr
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
 from ..sim.network import Fabric
@@ -36,7 +36,21 @@ __all__ = ["StandardNfsClient", "OffloadedDfsClient", "DfsError"]
 
 
 class DfsError(RuntimeError):
-    pass
+    """A DFS server rejected the operation.
+
+    Carries the structured :class:`Errno` alongside the server's message so
+    dispatch layers never have to substring-match ``str(e)``; the message
+    itself is preserved verbatim (``str(e)`` stays the raw server string).
+    """
+
+    def __init__(self, message: str, errno_code: Optional[Errno] = None):
+        super().__init__(message)
+        if errno_code is None:
+            try:
+                errno_code = Errno[str(message)]
+            except KeyError:
+                errno_code = Errno.EIO
+        self.errno_code = errno_code
 
 
 class StandardNfsClient:

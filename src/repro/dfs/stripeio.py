@@ -183,10 +183,19 @@ class StripeIO:
 
     # -- writes --------------------------------------------------------------------
     def write(self, file_id: int, offset: int, data: bytes) -> Generator[Event, None, None]:
-        """EC write: full-stripe encode, or parity RMW for partial stripes."""
+        """EC write: full-stripe encode, or parity RMW for partial stripes.
+
+        The write is striped up front and issued as one batched fan-out:
+        every unit write of every full stripe goes out in a single parallel
+        round (per-stripe failure accounting preserved), with the partial
+        stripes' RMWs running alongside — a multi-stripe write no longer
+        pays one network round-trip *per stripe*.
+        """
         if not data:
             return
         lay = self.layout
+        full: list[tuple[int, bytes]] = []  # (stripe, payload)
+        gens = []
         pos = offset
         end = offset + len(data)
         while pos < end:
@@ -197,28 +206,46 @@ class StripeIO:
             hi = min(end, s_end)
             chunk = data[lo - offset : hi - offset]
             if lo == s_start and hi == s_end:
-                yield from self._write_full_stripe(file_id, stripe, chunk)
+                full.append((stripe, chunk))
             else:
-                yield from self._write_partial_stripe(file_id, stripe, lo - s_start, chunk)
+                gens.append(self._write_partial_stripe(file_id, stripe, lo - s_start, chunk))
             pos = hi
+        if full:
+            gens.append(self._write_full_stripes(file_id, full))
+        if len(gens) == 1:
+            yield from gens[0]
+        else:
+            yield from self._parallel(gens)
+
+    def _write_full_stripes(
+        self, file_id: int, stripes: list[tuple[int, bytes]]
+    ) -> Generator[Event, None, None]:
+        """Encode + write a batch of full stripes in one parallel fan-out."""
+        lay = self.layout
+        yield from self._charge_ec(sum(len(p) for _, p in stripes))
+        gens = []
+        spans: list[int] = []  # owning stripe of each unit write
+        for stripe, payload in stripes:
+            units = lay.encode_stripe(payload)
+            pl = lay.placement(file_id, stripe)
+            for loc in pl.shards:
+                gens.append(self._write_unit_safe(loc.server, loc.key, units[loc.shard_index]))
+                spans.append(stripe)
+        results = yield from self._parallel(gens)
+        failures: dict[int, int] = {}
+        for stripe, ok in zip(spans, results):
+            if not ok:
+                failures[stripe] = failures.get(stripe, 0) + 1
+        for stripe, n in failures.items():
+            if n > lay.rs.m:
+                raise StorageUnavailable(
+                    f"stripe {stripe}: {n} shard writes failed (tolerates {lay.rs.m})"
+                )
 
     def _write_full_stripe(
         self, file_id: int, stripe: int, payload: bytes
     ) -> Generator[Event, None, None]:
-        lay = self.layout
-        yield from self._charge_ec(len(payload))
-        units = lay.encode_stripe(payload)
-        pl = lay.placement(file_id, stripe)
-        gens = [
-            self._write_unit_safe(loc.server, loc.key, units[loc.shard_index])
-            for loc in pl.shards
-        ]
-        results = yield from self._parallel(gens)
-        failures = sum(1 for ok in results if not ok)
-        if failures > lay.rs.m:
-            raise StorageUnavailable(
-                f"stripe {stripe}: {failures} shard writes failed (tolerates {lay.rs.m})"
-            )
+        yield from self._write_full_stripes(file_id, [(stripe, payload)])
 
     def _write_partial_stripe(
         self, file_id: int, stripe: int, offset_in_stripe: int, chunk: bytes

@@ -192,8 +192,7 @@ class IoDispatch:
                 return FileResponse(aux=1 if ok else 0), b""
             return FileResponse(status=Errno.EINVAL), b""
         except DfsError as e:
-            errno = Errno.EEXIST if "EEXIST" in str(e) else Errno.ENOENT
-            return FileResponse(status=errno), b""
+            return FileResponse(status=e.errno_code), b""
 
     #: dirent bytes per READDIR response (must fit the RH_len header room)
     READDIR_BATCH = 360
@@ -221,20 +220,28 @@ class IoDispatch:
         """Direct writes bypass the flusher: invalidate stale DIF tags."""
         if self.cache_ctrl is None or length <= 0:
             return
-        for lpn in range(offset // PAGE, (offset + length + PAGE - 1) // PAGE):
-            self.cache_ctrl.dif_drop(tagged_ino, lpn)
+        first = offset // PAGE
+        last = (offset + length + PAGE - 1) // PAGE
+        self.cache_ctrl.dif_drop_range(tagged_ino, first, last - first)
 
     def _spawn_fills(self, tagged_ino: int, offset: int, data: bytes) -> None:
-        """Install freshly-read pages into the host cache, off critical path."""
+        """Install freshly-read pages into the host cache, off critical path.
+
+        The whole run goes through one control-plane call (one spawned
+        process), not one process per 4 KiB page.
+        """
         if offset % PAGE:
             return  # only page-aligned reads feed the cache
-        for i in range(0, len(data), PAGE):
-            page = data[i : i + PAGE]
-            if len(page) == PAGE:
-                self.env.process(
-                    self.cache_ctrl.fill(tagged_ino, (offset + i) // PAGE, page),
-                    name="demand-fill",
-                )
+        pages = [
+            data[i : i + PAGE]
+            for i in range(0, len(data), PAGE)
+            if len(data[i : i + PAGE]) == PAGE
+        ]
+        if pages:
+            self.env.process(
+                self.cache_ctrl.fill_run(tagged_ino, offset // PAGE, pages),
+                name="demand-fill",
+            )
 
     def cache_writeback(self, tagged_ino: int, lpn: int, data: bytes) -> Generator:
         """Hybrid-cache flusher hook: route the dirty page to its stack.

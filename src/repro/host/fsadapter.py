@@ -193,7 +193,13 @@ class DpcAdapter(_TransportAdapterBase):
         return [results[p] for p in procs]
 
     def _submit_split(self, op, ino, offset, data, length, flags):
-        """Issue a READ/WRITE as parallel MAX_IO-sized sub-commands."""
+        """Issue a READ/WRITE as batched MAX_IO-sized sub-commands.
+
+        The fan-out goes through :meth:`NvmeFsInitiator.submit_many` on one
+        queue pair: every sub-command's SQE is produced back-to-back and a
+        single doorbell MMIO announces the batch (the adapter cost is also
+        paid once, as the split happens inside one kernel submission).
+        """
         total = length if op == FileOp.READ else len(data)
         if total <= self.MAX_IO:
             resp = yield from self._submit(
@@ -203,21 +209,24 @@ class DpcAdapter(_TransportAdapterBase):
             )
             return [resp]
 
-        def sub(off, n):
-            resp = yield from self._submit(
-                FileRequest(op, ino=ino, offset=off, length=n, flags=flags),
-                write_payload=data[off - offset : off - offset + n] if op == FileOp.WRITE else b"",
-                read_len=n if op == FileOp.READ else 0,
-            )
-            return resp
-
-        gens = []
+        batch = []
         pos = 0
         while pos < total:
             n = min(self.MAX_IO, total - pos)
-            gens.append(sub(offset + pos, n))
+            batch.append(
+                (
+                    FileRequest(op, ino=ino, offset=offset + pos, length=n, flags=flags),
+                    data[pos : pos + n] if op == FileOp.WRITE else b"",
+                    n if op == FileOp.READ else 0,
+                )
+            )
             pos += n
-        return (yield from self._parallel(gens))
+        yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
+        return (
+            yield from self.ini.submit_many(
+                batch, req_type=self.req_type, submitter_id=self._submitter()
+            )
+        )
 
     def read(self, ino, offset, length, flags=0):
         """Hybrid-cache probe first; grouped nvme-fs READ for the misses."""

@@ -166,6 +166,23 @@ class SystemParams:
     sqe_build_cost: float = 0.5 * US  # host CPU to fill a 64-byte SQE
     cqe_handle_cost: float = 0.4 * US
 
+    # ---- nvme-fs transport coalescing (see DESIGN.md "Transport coalescing") --
+    #: SQ doorbell write-combining window (seconds).  A submission onto an
+    #: otherwise-idle queue pair rings its doorbell immediately; on a busy
+    #: queue the MMIO is deferred up to this long so one doorbell carries
+    #: the final tail of every submission in the window.  0 disables.
+    doorbell_combine_us: float = 1.2 * US
+    #: CQE aggregation time (seconds), mirroring NVMe's interrupt-coalescing
+    #: aggregation time: completions on a busy queue are held up to this
+    #: long and flushed as one contiguous CQE DMA burst + one interrupt.
+    #: The holdoff fires immediately when the queue is otherwise idle, so
+    #: isolated ops keep their 4-DMA / 1-doorbell / 1-interrupt shape.
+    #: 0 disables coalescing entirely.
+    cqe_coalesce_us: float = 2.0 * US
+    #: CQE aggregation threshold: flush as soon as this many completions
+    #: have accumulated, even inside the holdoff window.
+    cqe_coalesce_threshold: int = 8
+
     # ---- hybrid cache -----------------------------------------------------------------
     cache_pages: int = 16384
     cache_page_size: int = 4 * KiB

@@ -41,11 +41,21 @@ class NvmeQueuePair:
         # Device-side cursors.
         self.dpu_sq_head = 0
         self.dpu_cq_tail = 0
+        #: last SQ tail actually pushed through the doorbell MMIO; a gap to
+        #: ``host_sq_tail`` means submissions are write-combining behind a
+        #: pending doorbell (see NvmeFsInitiator)
+        self.db_rung_tail = 0
+        #: True while the initiator's doorbell-combining timer is armed
+        self.db_armed = False
+        #: latest SQ tail the device has observed via doorbells; the CQE
+        #: coalescer uses it to detect an otherwise-idle queue
+        self.dpu_seen_tail = 0
         #: limits in-flight commands to the queue depth
         self.slots = Resource(env, depth)
         #: host -> DPU doorbell notifications (new SQ tail values)
         self.sq_doorbell: Store = Store(env)
-        #: DPU -> host completion interrupts (CQ slot indexes)
+        #: DPU -> host completion interrupts, each carrying a contiguous
+        #: ``(first CQ slot, CQE count)`` range (count > 1 when coalesced)
         self.cq_irq: Store = Store(env)
         #: cid -> host event waiting for that command's completion
         self.pending: dict[int, object] = {}

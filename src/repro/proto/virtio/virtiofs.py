@@ -361,6 +361,9 @@ class DpfsHal:
             tag="used-idx",
         )
         self.requests_processed += 1
+        # ⑫ raise the vring interrupt (one per request: virtio-fs queues do
+        # not coalesce completions — part of the control-TLP gap vs nvme-fs).
+        yield from link.interrupt(tag="used-irq")
         yield ring.used_irq.put(hdr.unique)
 
     @staticmethod

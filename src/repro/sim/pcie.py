@@ -38,12 +38,20 @@ class DmaStats:
     writes: int = 0
     atomics: int = 0
     doorbells: int = 0
+    interrupts: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     by_tag: dict = field(default_factory=dict)
+    #: tag -> [coalesced transactions, total entries they carried] for
+    #: burst transfers (multi-SQE fetches, multi-CQE writebacks, ...)
+    burst_by_tag: dict = field(default_factory=dict)
 
     def ops(self) -> int:
         return self.reads + self.writes + self.atomics
+
+    def control_tlps(self) -> int:
+        """Control-plane TLPs: doorbell MMIOs + completion interrupts."""
+        return self.doorbells + self.interrupts
 
     def record(self, kind: str, nbytes: int, tag: str) -> None:
         if kind == "read":
@@ -56,10 +64,19 @@ class DmaStats:
             self.atomics += 1
         elif kind == "doorbell":
             self.doorbells += 1
+        elif kind == "interrupt":
+            self.interrupts += 1
         else:  # pragma: no cover - defensive
             raise ValueError(kind)
         if tag:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + 1
+
+    def record_burst(self, tag: str, entries: int) -> None:
+        """Note that one transaction under ``tag`` carried ``entries`` ring
+        entries (the transaction itself is recorded separately)."""
+        b = self.burst_by_tag.setdefault(tag, [0, 0])
+        b[0] += 1
+        b[1] += entries
 
     def snapshot(self) -> "DmaStats":
         return DmaStats(
@@ -67,9 +84,11 @@ class DmaStats:
             writes=self.writes,
             atomics=self.atomics,
             doorbells=self.doorbells,
+            interrupts=self.interrupts,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
             by_tag=dict(self.by_tag),
+            burst_by_tag={k: list(v) for k, v in self.burst_by_tag.items()},
         )
 
     def delta(self, earlier: "DmaStats") -> "DmaStats":
@@ -78,12 +97,21 @@ class DmaStats:
             writes=self.writes - earlier.writes,
             atomics=self.atomics - earlier.atomics,
             doorbells=self.doorbells - earlier.doorbells,
+            interrupts=self.interrupts - earlier.interrupts,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
             by_tag={
                 k: v - earlier.by_tag.get(k, 0)
                 for k, v in self.by_tag.items()
                 if v != earlier.by_tag.get(k, 0)
+            },
+            burst_by_tag={
+                k: [
+                    v[0] - earlier.burst_by_tag.get(k, [0, 0])[0],
+                    v[1] - earlier.burst_by_tag.get(k, [0, 0])[1],
+                ]
+                for k, v in self.burst_by_tag.items()
+                if v != earlier.burst_by_tag.get(k, [0, 0])
             },
         )
 
@@ -188,4 +216,10 @@ class PcieLink:
     def doorbell(self, tag: str = "") -> Generator[Event, None, None]:
         """Host rings a device doorbell (MMIO write, posted)."""
         self.stats.record("doorbell", 4, tag)
+        yield self.env.timeout(self.latency * 0.5)
+
+    def interrupt(self, tag: str = "") -> Generator[Event, None, None]:
+        """Device raises a completion interrupt (MSI-X: posted memory write
+        upstream — the control-TLP mirror image of a doorbell)."""
+        self.stats.record("interrupt", 4, tag)
         yield self.env.timeout(self.latency * 0.5)

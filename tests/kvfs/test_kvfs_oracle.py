@@ -54,6 +54,8 @@ class OracleFs:
     def write(self, ino, offset, data):
         if ino not in self.files:
             return "ENOENT"
+        if not data:
+            return 0  # POSIX: a zero-length write never extends the file
         buf = self.files[ino]
         if len(buf) < offset + len(data):
             buf.extend(b"\0" * (offset + len(data) - len(buf)))

@@ -82,7 +82,9 @@ def test_8k_write_takes_exactly_4_dmas():
         )
         d = link.stats.delta(snap)
         assert d.ops() == 4, f"expected 4 DMAs, saw {d.ops()}: {d.by_tag}"
-        dmas = {k: v for k, v in d.by_tag.items() if k != "sq-doorbell"}
+        # Control TLPs (doorbell, interrupt) are not DMAs: exactly one each.
+        assert d.doorbells == 1 and d.interrupts == 1
+        dmas = {k: v for k, v in d.by_tag.items() if k not in ("sq-doorbell", "cq-irq")}
         assert dmas == {
             "sqe-fetch": 1,
             "cmd-header": 1,
@@ -108,7 +110,8 @@ def test_8k_read_takes_exactly_4_dmas():
         )
         d = link.stats.delta(snap)
         assert d.ops() == 4, f"expected 4 DMAs, saw {d.ops()}: {d.by_tag}"
-        dmas = {k: v for k, v in d.by_tag.items() if k != "sq-doorbell"}
+        assert d.doorbells == 1 and d.interrupts == 1
+        dmas = {k: v for k, v in d.by_tag.items() if k not in ("sq-doorbell", "cq-irq")}
         assert dmas == {
             "sqe-fetch": 1,
             "cmd-header": 1,
