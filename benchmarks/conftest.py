@@ -11,7 +11,13 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: machine-readable benchmark output lands here (CI uploads BENCH_*.json)
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -25,3 +31,38 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+class BenchRecorder:
+    """Collects ``metric -> value`` pairs per group and writes them to
+    ``results/BENCH_<group>.json`` (merged over existing content, so several
+    benchmark files/selections can contribute to one group)."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, dict] = {}
+
+    def record(self, group: str, metric: str, value) -> None:
+        self._groups.setdefault(group, {})[metric] = value
+
+    def flush(self) -> None:
+        if not self._groups:
+            return
+        RESULTS_DIR.mkdir(exist_ok=True)
+        for group, metrics in self._groups.items():
+            path = RESULTS_DIR / f"BENCH_{group}.json"
+            existing = {}
+            if path.exists():
+                try:
+                    existing = json.loads(path.read_text())
+                except ValueError:
+                    existing = {}
+            existing.update(metrics)
+            path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Session-wide recorder: ``bench_json(group, metric, value)``."""
+    rec = BenchRecorder()
+    yield rec.record
+    rec.flush()

@@ -1,0 +1,156 @@
+"""Bench: scale-out hybrid cache — seqlock hits + sharded control plane.
+
+Sweeps control-plane shard counts under an evict-heavy mixed workload and
+compares against the serialized, fully-locked seed configuration
+(``shards=1, seqlock off``).  Results land in ``results/BENCH_cache.json``.
+
+Smoke selection for CI: ``pytest benchmarks/test_cache_scaling.py -k smoke``
+runs only the smallest sweep point.
+"""
+
+from repro.cache.control import CacheControlPlane
+from repro.cache.hostplane import HostCachePlane
+from repro.cache.layout import CacheLayout
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.memory import MemoryArena
+from repro.sim.pcie import PcieLink
+from repro.sim.resources import Store
+
+PAGE = 4096
+
+
+class NullBackend:
+    """Fixed-latency backend so the sweep isolates the cache planes."""
+
+    def __init__(self, env):
+        self.env = env
+        self.store = {}
+
+    def writeback(self, inode, lpn, data):
+        yield self.env.timeout(8e-6)
+        self.store[(inode, lpn)] = data
+
+    def fetch(self, inode, lpn):
+        yield self.env.timeout(8e-6)
+        data = self.store.get((inode, lpn))
+        return None if data is None else [(lpn, data)]
+
+
+def build_rig(shards: int, seqlock: bool, pages=256, buckets=32):
+    env = Environment()
+    p = default_params().with_overrides(
+        cache_pages=pages,
+        cache_buckets=buckets,
+        cache_ctrl_shards=shards,
+        cache_seqlock=seqlock,
+        cache_flush_period=50e-6,
+    )
+    arena = MemoryArena(pages * 5000 + (1 << 20))
+    link = PcieLink(env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth)
+    host_cpu = CpuPool(env, p.host_cores, switch_cost=0)
+    dpu_cpu = CpuPool(env, p.dpu_cores, switch_cost=0)
+    layout = CacheLayout(arena, pages, PAGE, buckets)
+    mailbox = Store(env)
+    host = HostCachePlane(env, layout, host_cpu, p, mailbox)
+    backend = NullBackend(env)
+    ctrl = CacheControlPlane(
+        env, link, dpu_cpu, p, layout, mailbox,
+        writeback=backend.writeback, fetch=backend.fetch,
+        prefetch_enabled=False,
+    )
+    return env, layout, host, ctrl
+
+
+def run_workload(shards: int, seqlock: bool, nthreads: int, ops_per_thread: int):
+    """Evict-heavy write/read mix: the write stream overflows buckets (every
+    overflow is a blocking round trip to the owning shard's server), while
+    interleaved re-reads of recent pages measure the hit path."""
+    env, layout, host, ctrl = build_rig(shards, seqlock)
+    hit_lat = []
+
+    def thread(tid):
+        inode = tid + 1
+        seq = 0
+        for j in range(ops_per_thread):
+            if j % 4 < 2:  # write fresh pages: constant eviction pressure
+                yield from host.write(inode, seq, b"w" * 256)
+                seq += 1
+            else:  # read back a recent page: almost always a hit
+                lpn = max(0, seq - 1 - (j % 3))
+                t0 = env.now
+                data = yield from host.read(inode, lpn)
+                if data is not None:
+                    hit_lat.append(env.now - t0)
+
+    start = env.now
+    procs = [env.process(thread(t), name=f"bench-t{t}") for t in range(nthreads)]
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - start
+    total_ops = nthreads * ops_per_thread
+    return {
+        "iops": total_ops / elapsed if elapsed else 0.0,
+        "hit_lat_us": 1e6 * sum(hit_lat) / len(hit_lat) if hit_lat else 0.0,
+        "atomics_per_hit": host.stats.atomics_per_hit(),
+        "seqlock_hits": host.stats.seqlock_hits,
+        "evict_waits": host.stats.evict_waits,
+        "evictions": ctrl.evictions,
+        "host_atomics": layout.host_atomics,
+    }
+
+
+SWEEP = [(1, True), (2, True), (4, True), (8, True)]
+BASELINE = (1, False)  # serialized control plane, fully locked read path
+THREADS = 32
+OPS = 48
+
+
+def test_cache_scaling_smoke(bench_json):
+    """Smallest sweep point (CI smoke): 1 shard, seqlock on, few threads."""
+    r = run_workload(1, True, nthreads=4, ops_per_thread=12)
+    assert r["iops"] > 0
+    assert r["seqlock_hits"] > 0
+    assert r["atomics_per_hit"] < 0.2
+    bench_json("cache", "smoke_s1_t4_iops", round(r["iops"], 1))
+    bench_json("cache", "smoke_s1_t4_atomics_per_hit", round(r["atomics_per_hit"], 4))
+
+
+def test_cache_scaling_sweep(bench_json):
+    base = run_workload(*BASELINE, nthreads=THREADS, ops_per_thread=OPS)
+    bench_json("cache", f"sweep_s1_locked_t{THREADS}_iops", round(base["iops"], 1))
+    bench_json(
+        "cache",
+        f"sweep_s1_locked_t{THREADS}_atomics_per_hit",
+        round(base["atomics_per_hit"], 4),
+    )
+    bench_json(
+        "cache", f"sweep_s1_locked_t{THREADS}_hit_lat_us", round(base["hit_lat_us"], 3)
+    )
+    print()
+    print(f"{'shards':>6} {'seqlock':>8} {'iops':>12} {'hit_lat_us':>11} "
+          f"{'atomics/hit':>12} {'evict_waits':>12}")
+    print(f"{1:>6} {'off':>8} {base['iops']:>12.0f} {base['hit_lat_us']:>11.2f} "
+          f"{base['atomics_per_hit']:>12.2f} {base['evict_waits']:>12}")
+    results = {}
+    for shards, seqlock in SWEEP:
+        r = run_workload(shards, seqlock, nthreads=THREADS, ops_per_thread=OPS)
+        results[(shards, seqlock)] = r
+        key = f"sweep_s{shards}_seqlock_t{THREADS}"
+        bench_json("cache", f"{key}_iops", round(r["iops"], 1))
+        bench_json("cache", f"{key}_atomics_per_hit", round(r["atomics_per_hit"], 4))
+        bench_json("cache", f"{key}_hit_lat_us", round(r["hit_lat_us"], 3))
+        print(f"{shards:>6} {'on':>8} {r['iops']:>12.0f} {r['hit_lat_us']:>11.2f} "
+              f"{r['atomics_per_hit']:>12.2f} {r['evict_waits']:>12}")
+
+    top = results[SWEEP[-1]]
+    speedup = top["iops"] / base["iops"]
+    bench_json("cache", "top_vs_baseline_speedup", round(speedup, 3))
+    # The tentpole claim: the scale-out cache beats the serialized, locked
+    # seed configuration by >= 1.5x aggregate IOPS at the top sweep point.
+    assert speedup >= 1.5, f"only {speedup:.2f}x over 1-shard locked baseline"
+    # Seqlock keeps the hit path essentially atomics-free even under churn.
+    assert top["atomics_per_hit"] < 0.2
+    assert base["atomics_per_hit"] >= 2.0
+    # Sharding scales: more shards never lose to the single shard config.
+    assert results[(4, True)]["iops"] >= 0.95 * results[(1, True)]["iops"]

@@ -17,7 +17,7 @@ from .layout import (
     ST_FREE,
     ST_INVALID,
 )
-from .policies import ClockPolicy, LruPolicy, SequentialPrefetcher
+from .policies import AdaptiveReadahead, ClockPolicy, LruPolicy, SequentialPrefetcher
 
 __all__ = [
     "CacheControlPlane",
@@ -31,6 +31,7 @@ __all__ = [
     "ST_DIRTY",
     "ST_FREE",
     "ST_INVALID",
+    "AdaptiveReadahead",
     "ClockPolicy",
     "LruPolicy",
     "SequentialPrefetcher",

@@ -1,4 +1,4 @@
-"""DPU-side control plane of the hybrid cache.
+"""DPU-side control plane of the hybrid cache (sharded).
 
 Everything here runs on DPU cores and touches the host-resident cache only
 through DMA and PCIe atomics — the control/data-plane separation of paper
@@ -12,12 +12,25 @@ through DMA and PCIe atomics — the control/data-plane separation of paper
   victim with a pluggable policy (LRU/CLOCK shadow state lives in DPU DRAM),
   writing it back if dirty, and freeing the entry.
 * **Prefetching**: watch the host's miss notifications, detect sequential
-  streams, fetch ahead from the backend and install pages into the host
-  cache by DMA.
+  streams with an adaptive (Linux-readahead-style) window, fetch ahead from
+  the backend in pipelined chunks and install pages into the host cache by
+  DMA.
+
+**Sharding** (DESIGN.md §9): the control plane is split into
+``params.cache_ctrl_shards`` bucket-range shards.  Each shard owns a
+contiguous bucket range and runs its *own* mailbox server, flusher loop
+(with a per-shard flush budget) and replacement policy on its own DPU core
+group.  Host notifications are routed by ``bucket_of()``, so the
+mailbox-driven bucket work (dirty tracking, flush rounds, replacement) of
+any given bucket is only ever executed by its owning shard — the shards
+need no inter-shard locks.  Prefetch installs and demand fills remain
+lock-guarded concurrent operations (exactly like host writes) and may run
+from any process.
 """
 
 from __future__ import annotations
 
+import struct
 import zlib
 from typing import Callable, Generator, Optional
 
@@ -25,36 +38,63 @@ from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
 from ..sim.pcie import PcieLink
-from ..sim.resources import Store
+from ..sim.resources import Resource, Store
 from .layout import (
     CacheLayout,
     ENTRY_SIZE,
     LOCK_FREE,
     LOCK_READ,
     LOCK_WRITE,
-    NIL,
     ST_CLEAN,
     ST_DIRTY,
     ST_FREE,
     ST_INVALID,
 )
-from .policies import ClockPolicy, SequentialPrefetcher
+from .policies import AdaptiveReadahead, ClockPolicy
 
 __all__ = ["CacheControlPlane"]
 
-#: entry field offsets duplicated from layout (the control plane parses raw
-#: DMA'd entry bytes rather than using host-side accessors)
-import struct
-
-_ENTRY = struct.Struct("<IIIIQQ")  # lock, status, next, pad, lpn, inode
+#: raw wire format of one cache entry: the control plane parses DMA'd entry
+#: bytes rather than using host-side accessors
+_ENTRY = struct.Struct("<IIIIQQ")  # lock, status, next, gen, lpn, inode
 
 # Writeback/fetch backends: generators so they can cross the network.
 Writeback = Callable[[int, int, bytes], Generator]
 Fetch = Callable[[int, int], Generator]
+#: optional run-granular fetch hook: (inode, first_lpn, npages) -> pages
+FetchRun = Callable[[int, int, int], Generator]
+
+
+def _gen_odd(g: int) -> int:
+    """Next odd generation after ``g`` (writer-in-flight marker)."""
+    return ((g + 1) | 1) & 0xFFFFFFFF
+
+
+def _gen_even(g: int) -> int:
+    """Next even generation after ``g`` (stable, strictly greater)."""
+    return ((g | 1) + 1) & 0xFFFFFFFF
+
+
+def _unpack_entry(raw: bytes, offset: int = 0) -> dict:
+    lock, status, nxt, gen, lpn, inode = _ENTRY.unpack_from(raw, offset)
+    return {"lock": lock, "status": status, "next": nxt, "gen": gen, "lpn": lpn, "inode": inode}
+
+
+class _Shard:
+    """One bucket-range shard: mailbox + flusher + policy + dirty set."""
+
+    def __init__(self, env: Environment, sid: int, lo: int, hi: int):
+        self.sid = sid
+        self.lo = lo  # first bucket owned (inclusive)
+        self.hi = hi  # last bucket owned (exclusive)
+        self.mailbox: Store = Store(env)
+        self.policy = ClockPolicy()
+        self.dirty_buckets: set[int] = set()
+        self.tag = f"cache-ctrl-s{sid}"
 
 
 class CacheControlPlane:
-    """The offloaded cache manager."""
+    """The offloaded cache manager (facade over N bucket-range shards)."""
 
     def __init__(
         self,
@@ -68,6 +108,7 @@ class CacheControlPlane:
         fetch: Optional[Fetch] = None,
         prefetch_enabled: bool = True,
         dif_enabled: bool = True,
+        fetch_run: Optional[FetchRun] = None,
     ):
         self.env = env
         self.link = link
@@ -77,74 +118,120 @@ class CacheControlPlane:
         self.mailbox = mailbox
         self.writeback = writeback
         self.fetch = fetch
-        self.policy = ClockPolicy()
-        self.prefetcher = SequentialPrefetcher(window=params.prefetch_window)
-        self.prefetch_enabled = prefetch_enabled and fetch is not None
-        #: buckets the host has flagged as containing dirty pages
-        self._dirty_buckets: set[int] = set()
+        self.fetch_run = fetch_run
+        self.prefetch_enabled = prefetch_enabled and (
+            fetch is not None or fetch_run is not None
+        )
+        #: adaptive per-inode read-ahead state (shared DPU DRAM: stream
+        #: detection is global even though fills are dispatched per shard)
+        self.readahead = AdaptiveReadahead(
+            init_window=params.readahead_init_window,
+            max_window=params.prefetch_window,
+        )
         #: entry index -> (inode, lpn) shadow for policy decisions
         self._shadow: dict[int, tuple[int, int]] = {}
+        #: (inode, lpn) pages a prefetch chunk has in flight
         self._prefetch_inflight: set[tuple[int, int]] = set()
         #: bounds concurrent prefetch fetches so streams cannot starve the
         #: backend (and each other) under high thread counts
-        from ..sim.resources import Resource as _Resource
-
-        self._prefetch_slots = _Resource(env, 256)
+        self._prefetch_slots = Resource(env, 256)
         #: DIF: per-page CRCs computed at flush time (paper §3.3 lists DIF
         #: among the flush-path computations) and verified when the page is
-        #: re-fetched from the backend.
+        #: re-fetched from the backend.  Shared across shards (flush and
+        #: fetch of one page can land on different shards' processes).
         self.dif_enabled = dif_enabled
         self._dif: dict[tuple[int, int], int] = {}
+        #: per-(inode, backend block) writeback serialization: the backend
+        #: updates blocks by read-modify-write, so two pages of one block
+        #: flushed by different shards concurrently would lose an update
+        self._wb_locks: dict[tuple[int, int], Resource] = {}
         self.dif_checks = 0
         self.dif_errors = 0
         self.flushed_pages = 0
         self.evictions = 0
         self.prefetched_pages = 0
-        env.process(self._server(), name="cache-ctrl")
-        env.process(self._flusher(), name="cache-flusher")
+        # ---- shards ------------------------------------------------------
+        nshards = max(1, min(params.cache_ctrl_shards, layout.buckets))
+        per = (layout.buckets + nshards - 1) // nshards
+        self._bucket_span = per
+        self._shards: list[_Shard] = [
+            _Shard(env, i, i * per, min((i + 1) * per, layout.buckets))
+            for i in range(nshards)
+        ]
+        #: per-shard flush budget: the aggregate budget is split evenly
+        self._shard_flush_batch = max(1, -(-params.cache_flush_batch // nshards))
+        env.process(self._router(), name="cache-ctrl-router")
+        for shard in self._shards:
+            env.process(self._server(shard), name=f"cache-ctrl-s{shard.sid}")
+            env.process(self._flusher(shard), name=f"cache-flusher-s{shard.sid}")
 
-    # ------------------------------------------------------------------ server
-    def _server(self) -> Generator[Event, None, None]:
+    # ------------------------------------------------------------------ routing
+    @property
+    def nshards(self) -> int:
+        return len(self._shards)
+
+    def shard_of_bucket(self, bucket: int) -> int:
+        """The routing invariant: bucket -> owning shard id (total function)."""
+        return min(bucket // self._bucket_span, len(self._shards) - 1)
+
+    def _shard_for(self, bucket: int) -> _Shard:
+        return self._shards[self.shard_of_bucket(bucket)]
+
+    def _policy_of_idx(self, idx: int):
+        return self._shard_for(idx // self.layout.entries_per_bucket).policy
+
+    def _route(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind in ("miss", "touch"):
+            bucket = self.layout.bucket_of(msg[1], msg[2])
+        elif kind in ("dirty", "evict"):
+            bucket = msg[1]
+        elif kind == "forget":
+            bucket = msg[1] // self.layout.entries_per_bucket
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown cache control message {kind!r}")
+        self._shard_for(bucket).mailbox.put(msg)
+
+    def _router(self) -> Generator[Event, None, None]:
+        """Drain the host-facing mailbox into the per-shard mailboxes.
+
+        Routing itself is free on the simulated clock (it models the nvme-fs
+        control command carrying a queue id); the per-message CPU cost is
+        paid by the owning shard's server, concurrently across shards.
+        """
         while True:
             msg = yield self.mailbox.get()
+            self._route(msg)
+
+    # ------------------------------------------------------------------ server
+    def _server(self, shard: _Shard) -> Generator[Event, None, None]:
+        while True:
+            msg = yield shard.mailbox.get()
             kind = msg[0]
             if kind == "touch":
                 _, inode, lpn, idx = msg
-                self.policy.touch(idx)
+                shard.policy.touch(idx)
                 self._shadow[idx] = (inode, lpn)
                 # Hits keep a sequential stream's window extending ahead of
                 # the reader (misses alone would stall once the window fills).
                 if self.prefetch_enabled:
-                    for want in self.prefetcher.observe(inode, lpn):
-                        key = (inode, want)
-                        if key not in self._prefetch_inflight:
-                            self._prefetch_inflight.add(key)
-                            self.env.process(
-                                self._prefetch_one(inode, want), name="prefetch"
-                            )
+                    self._dispatch_readahead(inode, lpn)
             elif kind == "dirty":
-                self._dirty_buckets.add(msg[1])
+                shard.dirty_buckets.add(msg[1])
             elif kind == "forget":
-                self.policy.forget(msg[1])
+                shard.policy.forget(msg[1])
                 self._shadow.pop(msg[1], None)
             elif kind == "miss":
                 _, inode, lpn = msg
                 yield from self.dpu_cpu.execute(
-                    self.params.dpu_cache_ctrl_cost, tag="cache-ctrl"
+                    self.params.dpu_cache_ctrl_cost, tag=shard.tag
                 )
                 if self.prefetch_enabled:
-                    wanted = self.prefetcher.observe(inode, lpn)
-                    for want in wanted:
-                        key = (inode, want)
-                        if key not in self._prefetch_inflight:
-                            self._prefetch_inflight.add(key)
-                            self.env.process(
-                                self._prefetch_one(inode, want), name="prefetch"
-                            )
+                    self._dispatch_readahead(inode, lpn)
             elif kind == "evict":
                 _, bucket, reply = msg
                 yield from self.dpu_cpu.execute(
-                    self.params.dpu_cache_ctrl_cost, tag="cache-ctrl"
+                    self.params.dpu_cache_ctrl_cost, tag=shard.tag
                 )
                 yield from self._evict_from_bucket(bucket)
                 yield reply.put("evicted")
@@ -175,8 +262,7 @@ class CacheControlPlane:
         raw = yield from self.link.dma_read(
             self.layout.entry_addr(index), ENTRY_SIZE, tag="meta-read"
         )
-        lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack(raw)
-        return {"lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode}
+        return _unpack_entry(raw)
 
     def _dma_read_bucket(self, bucket: int) -> Generator[Event, None, list[tuple[int, dict]]]:
         """Read a whole bucket's entries in one DMA (they are contiguous)."""
@@ -185,36 +271,35 @@ class CacheControlPlane:
         raw = yield from self.link.dma_read(
             lay.entry_addr(first), ENTRY_SIZE * lay.entries_per_bucket, tag="meta-scan"
         )
-        out = []
-        for j in range(lay.entries_per_bucket):
-            lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack_from(raw, j * ENTRY_SIZE)
-            out.append(
-                (first + j, {"lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode})
-            )
-        return out
+        return [
+            (first + j, _unpack_entry(raw, j * ENTRY_SIZE))
+            for j in range(lay.entries_per_bucket)
+        ]
 
     # ------------------------------------------------------------------ flushing
-    def _flusher(self) -> Generator[Event, None, None]:
+    def _flusher(self, shard: _Shard) -> Generator[Event, None, None]:
         p = self.params
         full_sweep_countdown = 0
         while True:
             yield self.env.timeout(p.cache_flush_period)
-            buckets = sorted(self._dirty_buckets)
-            self._dirty_buckets.clear()
+            buckets = sorted(shard.dirty_buckets)
+            shard.dirty_buckets.clear()
             if not buckets:
                 full_sweep_countdown += 1
                 if full_sweep_countdown >= 50:
-                    # Rare straggler sweep over the whole meta area.
+                    # Rare straggler sweep over this shard's bucket range.
                     full_sweep_countdown = 0
-                    buckets = list(range(self.layout.buckets))
+                    buckets = list(range(shard.lo, shard.hi))
                 else:
                     continue
             flushed = 0
             for bucket in buckets:
-                if flushed >= p.cache_flush_batch:
-                    self._dirty_buckets.add(bucket)  # revisit next period
+                if flushed >= self._shard_flush_batch:
+                    shard.dirty_buckets.add(bucket)  # revisit next period
                     continue
-                flushed += yield from self._flush_bucket(bucket, p.cache_flush_batch - flushed)
+                flushed += yield from self._flush_bucket(
+                    bucket, self._shard_flush_batch - flushed
+                )
 
     def _flush_bucket(self, bucket: int, budget: int) -> Generator[Event, None, int]:
         entries = yield from self._dma_read_bucket(bucket)
@@ -224,7 +309,7 @@ class CacheControlPlane:
             if ent["status"] == ST_DIRTY and ent["lock"] == LOCK_FREE
         ]
         if len(candidates) > budget:
-            self._dirty_buckets.add(bucket)  # revisit next period
+            self._shard_for(bucket).dirty_buckets.add(bucket)  # revisit next period
             candidates = candidates[:budget]
         if not candidates:
             return 0
@@ -257,10 +342,7 @@ class CacheControlPlane:
             if n > 1:
                 self.link.stats.record_burst("meta-read", n)
             for j in range(n):
-                lock, status, nxt, _pad, lpn, inode = _ENTRY.unpack_from(raw, j * ENTRY_SIZE)
-                ents[start + j] = {
-                    "lock": lock, "status": status, "next": nxt, "lpn": lpn, "inode": inode,
-                }
+                ents[start + j] = _unpack_entry(raw, j * ENTRY_SIZE)
         dirty = [idx for idx in locked if ents[idx]["status"] == ST_DIRTY]
         # Pull the page data in contiguous burst reads.
         pages: dict[int, bytes] = {}
@@ -292,14 +374,32 @@ class CacheControlPlane:
 
     def _writeback_one(self, idx: int, ent: dict, data: bytes) -> Generator[Event, None, None]:
         """Backend processing for one locked dirty page (EC/compression run
-        here in the paper; we compute the DIF guard tag on the DPU)."""
+        here in the paper; we compute the DIF guard tag on the DPU).
+
+        The page data is untouched, so the seqlock generation is left
+        alone — only key/data mutations bump it.
+        """
         yield from self.dpu_cpu.execute(
             self.params.dpu_cache_ctrl_cost, tag="cache-flush"
         )
         if self.dif_enabled:
             yield from self.dpu_cpu.execute(0.3e-6, tag="cache-dif")
             self._dif[(ent["inode"], ent["lpn"])] = zlib.crc32(data)
-        yield from self.writeback(ent["inode"], ent["lpn"], data)
+        block = (
+            ent["inode"],
+            ent["lpn"] * self.layout.page_size // self.params.kvfs_block_size,
+        )
+        lock = self._wb_locks.get(block)
+        if lock is None:
+            lock = self._wb_locks[block] = Resource(self.env, 1)
+        req = lock.request()
+        yield req
+        try:
+            yield from self.writeback(ent["inode"], ent["lpn"], data)
+        finally:
+            lock.release(req)
+            if lock.count == 0 and lock.queue_len == 0:
+                self._wb_locks.pop(block, None)
         # Mark clean: 4-byte DMA write of the status field.
         yield from self.link.dma_write(
             self.layout.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="flush-status"
@@ -313,24 +413,37 @@ class CacheControlPlane:
     def flush_all(self) -> Generator[Event, None, int]:
         """Synchronously flush every dirty page (fsync/unmount path).
 
-        Pages transiently locked by the host or by a concurrent flusher are
-        retried until no dirty page remains (bounded passes).
+        Each shard's bucket range is swept by its own process — the full
+        flush runs shard-parallel.  Pages transiently locked by the host or
+        by a concurrent flusher are retried until no dirty page remains
+        (bounded passes).
         """
         total = 0
         for _attempt in range(12):
-            for bucket in range(self.layout.buckets):
-                total += yield from self._flush_bucket(bucket, self.layout.pages)
-            # Any dirty page left (e.g. locked mid-pass)?
-            remaining = False
-            for bucket in range(self.layout.buckets):
-                entries = yield from self._dma_read_bucket(bucket)
-                if any(e["status"] == ST_DIRTY for _i, e in entries):
-                    remaining = True
-                    break
-            if not remaining:
+            counts = yield from self._parallel(
+                [self._flush_range(shard) for shard in self._shards]
+            )
+            total += sum(counts)
+            remaining = yield from self._parallel(
+                [self._scan_dirty(shard) for shard in self._shards]
+            )
+            if not any(remaining):
                 break
             yield self.env.timeout(20e-6)
         return total
+
+    def _flush_range(self, shard: _Shard) -> Generator[Event, None, int]:
+        n = 0
+        for bucket in range(shard.lo, shard.hi):
+            n += yield from self._flush_bucket(bucket, self.layout.pages)
+        return n
+
+    def _scan_dirty(self, shard: _Shard) -> Generator[Event, None, bool]:
+        for bucket in range(shard.lo, shard.hi):
+            entries = yield from self._dma_read_bucket(bucket)
+            if any(e["status"] == ST_DIRTY for _i, e in entries):
+                return True
+        return False
 
     # ------------------------------------------------------------------ replacement
     def _evict_from_bucket(self, bucket: int) -> Generator[Event, None, bool]:
@@ -338,8 +451,9 @@ class CacheControlPlane:
         candidates = [idx for idx, e in entries if e["status"] in (ST_CLEAN, ST_DIRTY)]
         if not candidates:
             return False
+        policy = self._shard_for(bucket).policy
         order = []
-        victim = self.policy.victim(candidates)
+        victim = policy.victim(candidates)
         if victim is not None:
             order.append(victim)
         order.extend(i for i in candidates if i not in order)
@@ -362,66 +476,149 @@ class CacheControlPlane:
             yield from self.link.atomic_cas_u32(
                 self.layout.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
             )
-            self.policy.forget(idx)
+            policy.forget(idx)
             self._shadow.pop(idx, None)
             self.evictions += 1
             return True
         return False
 
+    # ------------------------------------------------------------------ read-ahead dispatch
+    def _dispatch_readahead(self, inode: int, lpn: int) -> None:
+        """Feed the stream detector; spawn pipelined fills for the window.
+
+        The adaptive window is split into backend-block-aligned chunks;
+        each chunk is one spawned fetch-and-install process, so a growing
+        window turns into several fetches in flight at once (bounded by the
+        prefetch slots) — backend latency overlaps host consumption.
+        """
+        wants = self.readahead.observe(inode, lpn)
+        if not wants:
+            return
+        block_pages = max(1, self.params.kvfs_block_size // self.layout.page_size)
+        chunk_pages = max(block_pages, self.readahead.init_window)
+        # Dedupe page-granular against chunks already in flight (a chunk
+        # only claims/installs the pages it was dispatched for).
+        fresh = [w for w in wants if (inode, w) not in self._prefetch_inflight]
+        for start, count in self._runs(fresh):
+            pos = start
+            while pos < start + count:
+                n = min(chunk_pages, start + count - pos)
+                pages = {(inode, p) for p in range(pos, pos + n)}
+                self._prefetch_inflight.update(pages)
+                self.env.process(
+                    self._prefetch_chunk(inode, pos, n, pages),
+                    name="prefetch",
+                )
+                pos += n
+
     # ------------------------------------------------------------------ prefetch / fill
-    def _prefetch_one(self, inode: int, lpn: int) -> Generator[Event, None, None]:
-        """Fetch one target page; the hook may return neighbours too (the
-        backend reads at its natural block granularity).
+    def _prefetch_chunk(
+        self, inode: int, first_lpn: int, npages: int, pages: set[tuple[int, int]]
+    ) -> Generator[Event, None, None]:
+        """Fetch a contiguous run of pages and install them.
 
         Pages are *pre-claimed* with status INVALID ("I/O pending") before
         the backend round trip, exactly like locked readahead pages in a
         page cache: a reader that races the prefetch waits on the pending
-        entry instead of issuing a duplicate backend read.
+        entry instead of issuing a duplicate backend read.  Claims proceed
+        in parallel (each is a multi-round-trip PCIe conversation); the run
+        is then fetched with one backend call when a run-granular hook is
+        available, else one call per backend block, in parallel.
         """
         slot = self._prefetch_slots.request()
         yield slot
         try:
-            idx = yield from self._claim_pending(inode, lpn)
-            if idx is None:
-                return  # bucket full or already present: skip quietly
-            claimed: list[tuple[int, int]] = [(lpn, idx)]
-            try:
-                pages = yield from self.fetch(inode, lpn)  # type: ignore[misc]
-            except Exception:
-                pages = None
-            got = dict(pages) if pages else {}
+            lpns = list(range(first_lpn, first_lpn + npages))
+            idxs = yield from self._parallel(
+                [self._claim_pending(inode, lpn) for lpn in lpns]
+            )
+            claimed = {  # lpn -> entry index
+                lpn: idx for lpn, idx in zip(lpns, idxs) if idx is not None
+            }
+            if not claimed:
+                return  # everything already cached/pending or buckets full
+            got = yield from self._fetch_pages(inode, first_lpn, npages)
             # DIF verification: a fetched page whose guard tag mismatches the
             # one recorded at flush time is corrupt — refuse to install it.
-            for got_lpn in list(got):
-                if not self._dif_ok(inode, got_lpn, got[got_lpn]):
-                    del got[got_lpn]
-            # Claim slots for the extra pages the block read brought along.
-            for extra_lpn in got:
-                if extra_lpn != lpn and (inode, extra_lpn) not in self._prefetch_inflight:
-                    idx2 = yield from self._claim_pending(inode, extra_lpn)
-                    if idx2 is not None:
-                        claimed.append((extra_lpn, idx2))
-            for got_lpn, idx2 in claimed:
-                data = got.get(got_lpn)
+            for lpn in list(got):
+                if not self._dif_ok(inode, lpn, got[lpn]):
+                    del got[lpn]
+            installs = []
+            for lpn, idx in claimed.items():
+                data = got.get(lpn)
                 if data is not None:
-                    ok = yield from self._install_pending(idx2, data)
-                    if ok:
-                        self.prefetched_pages += 1
-                        self._shadow[idx2] = (inode, got_lpn)
-                        self.policy.touch(idx2)
+                    installs.append(self._install_one(inode, lpn, idx, data))
                 else:
-                    yield from self._release_pending(idx2)
+                    installs.append(self._release_pending(idx))
+            yield from self._parallel(installs)
         finally:
             # Sync-only cleanup (no yields: the simulation may be tearing
             # this process down via GeneratorExit).
             self._prefetch_slots.release(slot)
-            self._prefetch_inflight.discard((inode, lpn))
+            self._prefetch_inflight.difference_update(pages)
+
+    def _install_one(
+        self, inode: int, lpn: int, idx: int, data: bytes
+    ) -> Generator[Event, None, None]:
+        ok = yield from self._install_pending(idx, data)
+        if ok:
+            self.prefetched_pages += 1
+            self._shadow[idx] = (inode, lpn)
+            self._policy_of_idx(idx).touch(idx)
+
+    def _fetch_pages(
+        self, inode: int, first_lpn: int, npages: int
+    ) -> Generator[Event, None, dict[int, bytes]]:
+        """Backend fetch for a page run -> {lpn: data} (possibly partial)."""
+        got: dict[int, bytes] = {}
+        if self.fetch_run is not None:
+            try:
+                pages = yield from self.fetch_run(inode, first_lpn, npages)
+            except Exception:
+                pages = None
+            if pages:
+                got.update(dict(pages))
+            return got
+        # Per-block fallback, in two parallel waves: block-granular backends
+        # answer the first wave (one fetch per block) completely; backends
+        # that return only the exact page asked for get a second wave for
+        # the pages the first one left uncovered.
+        block_pages = max(1, self.params.kvfs_block_size // self.layout.page_size)
+        want = list(range(first_lpn, first_lpn + npages))
+
+        def one(lpn: int) -> Generator[Event, None, Optional[list]]:
+            try:
+                return (yield from self.fetch(inode, lpn))  # type: ignore[misc]
+            except Exception:
+                return None
+
+        starts = sorted({(lpn // block_pages) * block_pages for lpn in want})
+        starts = [max(s, first_lpn) for s in starts]
+        for wave in (starts, None):
+            lpns = wave if wave is not None else [p for p in want if p not in got]
+            if not lpns:
+                break
+            results = yield from self._parallel([one(lpn) for lpn in lpns])
+            for pages in results:
+                if pages:
+                    got.update(dict(pages))
+        return {lpn: data for lpn, data in got.items() if lpn in set(want)}
+
+    def _prefetch_one(self, inode: int, lpn: int) -> Generator[Event, None, None]:
+        """Single-page prefetch (legacy shape kept for direct callers)."""
+        key = (inode, lpn)
+        if key in self._prefetch_inflight:
+            return
+        self._prefetch_inflight.add(key)
+        yield from self._prefetch_chunk(inode, lpn, 1, {key})
 
     def _claim_pending(self, inode: int, lpn: int) -> Generator[Event, None, Optional[int]]:
         """Grab a free entry in the key's bucket, mark it I/O-pending.
 
         A full bucket evicts a victim first (readahead pressure reclaims
-        cold pages, exactly like page-cache readahead).
+        cold pages, exactly like page-cache readahead).  The claimed entry
+        is left with an *odd* generation: it stays "mutating" for seqlock
+        readers until the install publishes data with the next even value.
         """
         lay = self.layout
         bucket = lay.bucket_of(inode, lpn)
@@ -450,7 +647,9 @@ class CacheControlPlane:
                     lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
                 )
                 continue
-            meta = _ENTRY.pack(LOCK_WRITE, ST_INVALID, ent["next"], 0, lpn, inode)
+            meta = _ENTRY.pack(
+                LOCK_WRITE, ST_INVALID, ent["next"], _gen_odd(ent["gen"]), lpn, inode
+            )
             yield from self.link.dma_write(lay.entry_addr(idx), meta, tag="claim-meta")
             yield from self.link.atomic_faa_u32(
                 lay.free_count_addr, 0xFFFFFFFF, tag="free-count"
@@ -478,8 +677,11 @@ class CacheControlPlane:
             return False
         page = data.ljust(lay.page_size, b"\0")[: lay.page_size]
         yield from self.link.dma_write(lay.page_addr(idx), page, tag="fill-data")
+        # Publish: status -> CLEAN and generation -> next even, in one
+        # contiguous 12-byte DMA (status, next, gen).
+        publish = struct.pack("<III", ST_CLEAN, ent["next"], _gen_even(ent["gen"]))
         yield from self.link.dma_write(
-            lay.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="fill-status"
+            lay.entry_addr(idx) + 4, publish, tag="fill-status"
         )
         yield from self.link.atomic_cas_u32(
             lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
@@ -496,8 +698,9 @@ class CacheControlPlane:
             return
         ent = yield from self._dma_read_entry(idx)
         if ent["status"] == ST_INVALID:
+            publish = struct.pack("<III", ST_FREE, ent["next"], _gen_even(ent["gen"]))
             yield from self.link.dma_write(
-                lay.entry_addr(idx) + 4, ST_FREE.to_bytes(4, "little"), tag="claim-free"
+                lay.entry_addr(idx) + 4, publish, tag="claim-free"
             )
             yield from self.link.atomic_faa_u32(
                 lay.free_count_addr, 1, tag="free-count"
@@ -562,7 +765,9 @@ class CacheControlPlane:
                 continue
             page = data.ljust(lay.page_size, b"\0")[: lay.page_size]
             yield from self.link.dma_write(lay.page_addr(idx), page, tag="fill-data")
-            meta = _ENTRY.pack(LOCK_WRITE, ST_CLEAN, ent["next"], 0, lpn, inode)
+            meta = _ENTRY.pack(
+                LOCK_WRITE, ST_CLEAN, ent["next"], _gen_even(ent["gen"]), lpn, inode
+            )
             yield from self.link.dma_write(lay.entry_addr(idx), meta, tag="fill-meta")
             yield from self.link.atomic_faa_u32(
                 lay.free_count_addr, 0xFFFFFFFF, tag="free-count"
@@ -571,7 +776,7 @@ class CacheControlPlane:
                 lay.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
             )
             self._shadow[idx] = (inode, lpn)
-            self.policy.touch(idx)
+            self._policy_of_idx(idx).touch(idx)
             return True
         return False
 
@@ -581,9 +786,9 @@ class CacheControlPlane:
         """Install a contiguous run of pages in one batched call.
 
         One control-plane invocation installs the whole run: the per-page
-        bucket walks proceed in parallel (pages hash to independent buckets)
-        instead of one spawned process per 4 KiB page.  Returns the number
-        of pages actually installed.
+        bucket walks proceed in parallel (pages hash to independent buckets
+        spread across all shards) instead of one spawned process per 4 KiB
+        page.  Returns the number of pages actually installed.
         """
         results = yield from self._parallel(
             [self.fill(inode, first_lpn + i, page) for i, page in enumerate(pages)]

@@ -9,7 +9,9 @@ region holds:
 * the **meta area**: one 32-byte cache entry per page, organised as a hash
   table of buckets whose entries are linked by the ``next`` field.  Each
   entry records ``lock`` (0 none / 1 write / 2 read / 3 invalid), ``status``
-  (0 free / 1 clean / 2 dirty / 3 invalid), ``lpn`` and ``inode``;
+  (0 free / 1 clean / 2 dirty / 3 invalid), a seqlock ``gen`` counter
+  (odd while a writer is mutating the entry; see DESIGN.md §9), ``lpn``
+  and ``inode``;
 * the **data area**: the cache pages, positionally paired with entries
   ("finding the position of the cache entry is equivalent to locating the
   cache page").
@@ -56,6 +58,7 @@ NIL = 0xFFFFFFFF
 _OFF_LOCK = 0
 _OFF_STATUS = 4
 _OFF_NEXT = 8
+_OFF_GEN = 12
 _OFF_LPN = 16
 _OFF_INODE = 24
 
@@ -93,6 +96,10 @@ class CacheLayout:
         self.size = size
         self.meta_base = self.base + HEADER_SIZE
         self.data_base = self.meta_base + pages * ENTRY_SIZE
+        #: host-side atomic RMWs on shared lock/count words (the cachelines
+        #: are co-owned with DPU PCIe AtomicOps, so each one pays cross-PCIe
+        #: coordination — the cost the seqlock read path elides)
+        self.host_atomics = 0
         self._init_region(mode)
 
     def _init_region(self, mode: int) -> None:
@@ -111,6 +118,7 @@ class CacheLayout:
                 addr = self.entry_addr(i)
                 a.write_u32(addr + _OFF_LOCK, LOCK_FREE)
                 a.write_u32(addr + _OFF_STATUS, ST_FREE)
+                a.write_u32(addr + _OFF_GEN, 0)
                 nxt = i + 1 if j + 1 < self.entries_per_bucket else NIL
                 a.write_u32(addr + _OFF_NEXT, nxt)
                 a.write_u64(addr + _OFF_LPN, 0)
@@ -124,6 +132,9 @@ class CacheLayout:
 
     def lock_addr(self, index: int) -> int:
         return self.entry_addr(index) + _OFF_LOCK
+
+    def gen_addr(self, index: int) -> int:
+        return self.entry_addr(index) + _OFF_GEN
 
     def page_addr(self, index: int) -> int:
         if not 0 <= index < self.pages:
@@ -165,9 +176,31 @@ class CacheLayout:
             "lock": a.read_u32(addr + _OFF_LOCK),
             "status": a.read_u32(addr + _OFF_STATUS),
             "next": a.read_u32(addr + _OFF_NEXT),
+            "gen": a.read_u32(addr + _OFF_GEN),
             "lpn": a.read_u64(addr + _OFF_LPN),
             "inode": a.read_u64(addr + _OFF_INODE),
         }
+
+    # -- seqlock generation word (paper-era pad word at offset 12) ---------------
+    def entry_gen(self, index: int) -> int:
+        return self.arena.read_u32(self.gen_addr(index))
+
+    def set_entry_gen(self, index: int, value: int) -> None:
+        self.arena.write_u32(self.gen_addr(index), value & 0xFFFFFFFF)
+
+    def gen_begin_write(self, index: int) -> int:
+        """Writer-side seqlock entry: make ``gen`` odd (mutation in flight).
+
+        Must be called with the entry's lock word held.  Returns the new
+        odd value.
+        """
+        g = (self.entry_gen(index) + 1) | 1
+        self.set_entry_gen(index, g)
+        return g
+
+    def gen_end_write(self, index: int) -> None:
+        """Writer-side seqlock exit: bump ``gen`` to the next even value."""
+        self.set_entry_gen(index, (self.entry_gen(index) | 1) + 1)
 
     def entry_status(self, index: int) -> int:
         return self.arena.read_u32(self.entry_addr(index) + _OFF_STATUS)
@@ -206,12 +239,15 @@ class CacheLayout:
 
     # -- host-side atomics on lock words ----------------------------------------
     def try_lock(self, index: int, kind: int) -> bool:
-        """CAS the lock word free -> kind; host-side (no PCIe cost)."""
+        """CAS the lock word free -> kind (host-side lock-prefixed RMW)."""
+        self.host_atomics += 1
         return self.arena.cas_u32(self.lock_addr(index), LOCK_FREE, kind)
 
     def unlock(self, index: int, kind: int) -> bool:
         """CAS the lock word kind -> free."""
+        self.host_atomics += 1
         return self.arena.cas_u32(self.lock_addr(index), kind, LOCK_FREE)
 
     def adjust_free(self, delta: int) -> None:
+        self.host_atomics += 1
         self.arena.faa_u32(self.free_count_addr, delta & 0xFFFFFFFF)

@@ -165,6 +165,7 @@ def build_dpc_system(
             writeback=dispatch.cache_writeback,
             fetch=dispatch.cache_fetch,
             prefetch_enabled=prefetch,
+            fetch_run=dispatch.cache_fetch_run,
         )
         dispatch.cache_ctrl = cache_ctrl
     tgt = NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, dispatch.backend)

@@ -284,3 +284,30 @@ class IoDispatch:
             (base // PAGE + i, data[i * PAGE : (i + 1) * PAGE])
             for i in range(unit // PAGE)
         ]
+
+    def cache_fetch_run(self, tagged_ino: int, lpn: int, npages: int) -> Generator:
+        """Run-granular prefetcher hook (adaptive read-ahead pipelining).
+
+        One backend round trip covers a whole read-ahead chunk instead of
+        one 8 KiB block: the chunk's pages arrive together and the per-op
+        backend overhead (KV get service, EC stripe math) is amortised
+        across the run.  Pages beyond EOF are simply not returned — the
+        control plane releases their pending claims.
+        """
+        ino = tagged_ino >> 1
+        base = lpn * PAGE
+        length = npages * PAGE
+        try:
+            if tagged_ino & 1:
+                data = yield from self.dfs_client.read(ino, base, length)
+            else:
+                data = yield from self.kvfs.read(ino, base, length, charge=0.3)
+        except (KvfsError, DfsError):
+            return None
+        if not data:
+            return None
+        got_pages = (len(data) + PAGE - 1) // PAGE
+        data = data.ljust(got_pages * PAGE, b"\0")
+        return [
+            (lpn + i, data[i * PAGE : (i + 1) * PAGE]) for i in range(got_pages)
+        ]

@@ -49,7 +49,7 @@ def random_write_panel(
 ) -> ResultTable:
     table = ResultTable(
         "Figure 8 (writes): random 8K write IOPS, direct vs buffered",
-        ["fs", "mode", "threads", "iops"],
+        ["fs", "mode", "threads", "iops", "evict_waits", "atomics_per_hit"],
     )
     for fs in ("ext4", "kvfs"):
         for mode in ("direct", "buffered"):
@@ -67,7 +67,15 @@ def random_write_panel(
                 yield from _s.vfs.write(_h, _rand_off(tid, j, FILE_SIZE), block)
 
             res = measure_threads(sys.env, nthreads, ops_per_thread, op)
-            table.add_row(fs, mode, nthreads, res.iops)
+            cache = getattr(sys, "cache_host", None)
+            table.add_row(
+                fs,
+                mode,
+                nthreads,
+                res.iops,
+                cache.stats.evict_waits if cache else 0,
+                cache.stats.atomics_per_hit() if cache else 0.0,
+            )
     table.note("buffered absorbs into host memory; flushers write back behind")
     return table
 
@@ -80,10 +88,11 @@ def seq_read_prefetch_panel(
     """KVFS sequential reads with the prefetcher on vs off."""
     table = ResultTable(
         "Figure 8 (reads): KVFS sequential 8K read IOPS, prefetch on/off",
-        ["threads", "mode", "iops", "boost"],
+        ["threads", "mode", "iops", "boost", "hit_rate"],
     )
     for n in thread_counts:
         iops = {}
+        hit_rate = {}
         for mode in ("direct", "prefetch"):
             sys = build_dpc_system(params, prefetch=(mode == "prefetch"))
             flags = O_DIRECT if mode == "direct" else 0
@@ -98,8 +107,15 @@ def seq_read_prefetch_panel(
 
             res = measure_threads(sys.env, n, ops_per_thread, op)
             iops[mode] = res.iops
-        table.add_row(n, "direct", iops["direct"], 1.0)
-        table.add_row(n, "prefetch", iops["prefetch"], iops["prefetch"] / iops["direct"])
+            hit_rate[mode] = sys.cache_host.stats.hit_rate()
+        table.add_row(n, "direct", iops["direct"], 1.0, hit_rate["direct"])
+        table.add_row(
+            n,
+            "prefetch",
+            iops["prefetch"],
+            iops["prefetch"] / iops["direct"],
+            hit_rate["prefetch"],
+        )
     table.note("paper: ~100x boost at 1 thread, ~3x at 32 threads")
     return table
 

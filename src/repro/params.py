@@ -189,7 +189,33 @@ class SystemParams:
     cache_buckets: int = 2048
     cache_flush_period: float = 200 * US
     cache_flush_batch: int = 64
-    prefetch_window: int = 96  # pages prefetched ahead on sequential reads
+    prefetch_window: int = 96  # max pages prefetched ahead on sequential reads
+
+    # ---- cache concurrency (see DESIGN.md §9) -----------------------------------
+    #: control-plane shards: the DPU-side cache manager is split into this
+    #: many bucket-range shards, each with its own mailbox, server loop,
+    #: flusher and replacement policy (one DPU core group per shard).  1
+    #: reproduces the serialized seed control plane.
+    cache_ctrl_shards: int = 4
+    #: seqlock read fast path: host read hits validate a per-entry generation
+    #: counter instead of taking the shared lock word (0 lock atomics per
+    #: uncontended hit).  False forces the locked read path.
+    cache_seqlock: bool = True
+    #: host CPU cost of one atomic RMW on a lock word in the shared cache
+    #: region.  The line is also targeted by DPU PCIe AtomicOps, so the CAS
+    #: pays cross-PCIe cacheline ownership latency, not an L1-local RMW.
+    host_atomic_cost: float = 0.15 * US
+    #: bounded optimistic retries before a seqlock reader falls back to the
+    #: locked path
+    seqlock_max_retries: int = 3
+    #: adaptive read-ahead: initial window (pages) when a sequential stream
+    #: is detected; the window doubles per sequential observation up to
+    #: ``prefetch_window`` and collapses back on random access.  One backend
+    #: block (2 pages) of slack per doubling is not enough to hide the
+    #: claim round trip from a reader hitting in DRAM, so the initial
+    #: window spans four blocks: the first ramp boundary then lands while
+    #: the stream's compulsory miss is still being served.
+    readahead_init_window: int = 8
 
     # ---- file geometry ------------------------------------------------------------------
     small_file_threshold: int = 8 * KiB  # KVFS small-file KV limit

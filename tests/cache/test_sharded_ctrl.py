@@ -1,0 +1,180 @@
+"""Sharded control plane: routing invariants and cross-shard durability."""
+
+import pytest
+
+from repro.cache.control import CacheControlPlane
+from repro.cache.hostplane import HostCachePlane
+from repro.cache.layout import CacheLayout, ST_CLEAN, ST_DIRTY
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.memory import MemoryArena
+from repro.sim.pcie import PcieLink
+from repro.sim.resources import Store
+
+
+class FakeBackend:
+    def __init__(self, env):
+        self.env = env
+        self.store = {}
+        self.writebacks = 0
+
+    def writeback(self, inode, lpn, data):
+        yield self.env.timeout(5e-6)
+        self.store[(inode, lpn)] = data
+        self.writebacks += 1
+
+    def fetch(self, inode, lpn):
+        yield self.env.timeout(5e-6)
+        data = self.store.get((inode, lpn))
+        return None if data is None else [(lpn, data)]
+
+
+def build(pages=64, buckets=8, shards=4, prefetch=False):
+    env = Environment()
+    p = default_params().with_overrides(
+        cache_pages=pages, cache_buckets=buckets, cache_ctrl_shards=shards
+    )
+    arena = MemoryArena(pages * 5000 + (1 << 20))
+    link = PcieLink(env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth)
+    host_cpu = CpuPool(env, 8, switch_cost=0)
+    dpu_cpu = CpuPool(env, 8, switch_cost=0)
+    layout = CacheLayout(arena, pages, 4096, buckets)
+    mailbox = Store(env)
+    host = HostCachePlane(env, layout, host_cpu, p, mailbox)
+    backend = FakeBackend(env)
+    ctrl = CacheControlPlane(
+        env, link, dpu_cpu, p, layout, mailbox,
+        writeback=backend.writeback, fetch=backend.fetch,
+        prefetch_enabled=prefetch,
+    )
+    return env, layout, host, ctrl, backend
+
+
+def drive(env, gen, until_extra=0.0):
+    proc = env.process(gen)
+    result = env.run(until=proc)
+    if until_extra:
+        env.run(until=env.now + until_extra)
+    return result
+
+
+@pytest.mark.parametrize("shards,buckets", [(1, 8), (2, 8), (4, 8), (4, 10), (8, 8), (16, 8)])
+def test_bucket_to_shard_routing_is_a_total_partition(shards, buckets):
+    """Every bucket maps to exactly one shard; ranges are contiguous and
+    cover the whole table — no bucket is ever touched by two shards."""
+    env, _, _, ctrl, _ = build(pages=buckets * 8, buckets=buckets, shards=shards)
+    owners = [ctrl.shard_of_bucket(b) for b in range(buckets)]
+    assert all(0 <= o < ctrl.nshards for o in owners)
+    # Contiguous, monotone ranges.
+    assert owners == sorted(owners)
+    # Matches each shard's declared [lo, hi) range exactly.
+    for shard in ctrl._shards:
+        for b in range(buckets):
+            assert (shard.lo <= b < shard.hi) == (owners[b] == shard.sid)
+    # A shard count above the bucket count is clamped, not broken.
+    assert ctrl.nshards <= buckets
+
+
+def test_shard_count_clamped_to_buckets():
+    env, _, _, ctrl, _ = build(pages=32, buckets=4, shards=16)
+    assert ctrl.nshards == 4
+
+
+def test_dirty_notifications_reach_only_the_owning_shard():
+    env, lay, host, ctrl, _ = build(pages=64, buckets=8, shards=4)
+
+    def flow():
+        for lpn in range(16):
+            yield from host.write(1, lpn, f"p{lpn}".encode())
+
+    drive(env, flow())
+    env.run(until=env.now + 50e-6)  # let routing + servers settle, pre-flush
+    for shard in ctrl._shards:
+        for b in shard.dirty_buckets:
+            assert ctrl.shard_of_bucket(b) == shard.sid
+            assert shard.lo <= b < shard.hi
+
+
+def test_flushers_run_per_shard_and_cover_all_buckets():
+    """Dirty pages spread over every shard's range all get written back."""
+    env, lay, host, ctrl, backend = build(pages=64, buckets=8, shards=4)
+
+    def flow():
+        for lpn in range(32):
+            yield from host.write(1, lpn, f"page-{lpn}".encode())
+
+    drive(env, flow(), until_extra=0.02)  # several flush periods
+    # Every dirty page either still sits in cache as clean or was evicted
+    # after writeback — nothing stays dirty once the flushers sweep.
+    dirty_left = sum(
+        1 for i in range(lay.pages) if lay.entry_status(i) == ST_DIRTY
+    )
+    assert dirty_left == 0
+    assert backend.writebacks >= 1
+    for lpn in range(32):
+        idx = host._find(1, lpn)
+        if idx is None:
+            assert backend.store[(1, lpn)].startswith(f"page-{lpn}".encode())
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+def test_flush_all_durable_across_shard_counts(shards):
+    """flush_all must push every dirty page regardless of the shard split."""
+    env, lay, host, ctrl, backend = build(pages=64, buckets=8, shards=shards)
+
+    def flow():
+        for lpn in range(24):
+            yield from host.write(3, lpn, f"content-{lpn}".encode())
+        yield from ctrl.flush_all()
+
+    drive(env, flow())
+    for lpn in range(24):
+        assert backend.store[(3, lpn)].startswith(f"content-{lpn}".encode())
+    assert all(
+        lay.entry_status(i) != ST_DIRTY for i in range(lay.pages)
+    )
+
+
+def test_eviction_requests_route_to_owning_shard_and_complete():
+    env, lay, host, ctrl, _ = build(pages=8, buckets=1, shards=4, prefetch=False)
+
+    def flow():
+        for lpn in range(12):  # overflow the single bucket
+            yield from host.write(1, lpn, f"x{lpn}".encode())
+
+    drive(env, flow())
+    assert ctrl.evictions >= 1
+    assert host.stats.evict_waits >= 1
+
+
+def test_single_shard_reproduces_serialized_control_plane():
+    """shards=1 must behave like the original single-loop control plane."""
+    env, lay, host, ctrl, backend = build(pages=64, buckets=8, shards=1)
+    assert ctrl.nshards == 1
+    assert (ctrl._shards[0].lo, ctrl._shards[0].hi) == (0, 8)
+
+    def flow():
+        yield from host.write(2, 5, b"only page")
+        n = yield from ctrl.flush_all()
+        return n
+
+    assert drive(env, flow()) == 1
+    assert backend.store[(2, 5)].startswith(b"only page")
+
+
+def test_free_count_conserved_with_shards():
+    env, lay, host, ctrl, _ = build(pages=16, buckets=2, shards=2, prefetch=False)
+
+    def flow():
+        for lpn in range(30):
+            yield from host.write(1, lpn, b"x")
+        yield from ctrl.flush_all()
+
+    drive(env, flow(), until_extra=0.01)
+    live = sum(
+        1
+        for i in range(lay.pages)
+        if lay.entry_status(i) in (ST_CLEAN, ST_DIRTY)
+    )
+    assert lay.free_count() + live == lay.pages
