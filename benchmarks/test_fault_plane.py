@@ -1,0 +1,35 @@
+"""Bench: fault ablation — availability and tail latency under failures."""
+
+from repro.experiments import fault_ablation
+
+
+def test_fault_ablation(once, bench_json):
+    table = once(fault_ablation.run, ops_per_thread=25)
+    print()
+    print(table.render())
+    d = {r[0]: dict(zip(table.columns[1:], r[1:])) for r in table.rows}
+
+    # Healthy baseline: every read succeeds, nothing degrades or retries.
+    assert d["healthy"]["availability"] == 1.0
+    assert d["healthy"]["degraded_stripes"] == 0
+    assert d["healthy"]["errors"] == 0
+
+    # Without recovery, losing a data server mid-run costs availability.
+    assert d["no-recovery"]["availability"] < 1.0
+    assert d["no-recovery"]["errors"] > 0
+
+    # Degraded EC reads restore availability; reconstruction costs tail.
+    assert d["degraded"]["availability"] == 1.0
+    assert d["degraded"]["degraded_stripes"] > 0
+    assert d["degraded"]["p99_us"] > d["healthy"]["p99_us"]
+
+    # Silent crash + lossy fabric: timeouts/retries keep availability at 1,
+    # at a much higher tail and lower goodput.
+    assert d["full"]["availability"] == 1.0
+    assert d["full"]["retries"] > 0
+    assert d["full"]["p99_us"] > d["degraded"]["p99_us"]
+    assert d["full"]["goodput_iops"] < d["healthy"]["goodput_iops"]
+
+    for variant, row in d.items():
+        for metric in ("availability", "p99_us", "goodput_iops", "retries"):
+            bench_json("fault", f"{variant}/{metric}", row[metric])

@@ -3,11 +3,14 @@
 from repro.experiments import fig9_dfs
 
 
-def test_fig9_dfs(once):
+def test_fig9_dfs(once, bench_json):
     table = once(fig9_dfs.run, ops_per_thread=15)
     print()
     print(table.render())
     d = {(r[0], r[1]): {"v": r[2], "cores": r[3]} for r in table.rows}
+    for (case, system), row in d.items():
+        bench_json("fig9", f"{case}/{system}/value", row["v"])
+        bench_json("fig9", f"{case}/{system}/host_cores", row["cores"])
 
     # Optimized host client: ~4-5x the standard NFS IOPS ...
     for case in ("rnd-rd", "rnd-wr"):

@@ -109,6 +109,7 @@ class CacheControlPlane:
         prefetch_enabled: bool = True,
         dif_enabled: bool = True,
         fetch_run: Optional[FetchRun] = None,
+        breaker=None,
     ):
         self.env = env
         self.link = link
@@ -119,6 +120,12 @@ class CacheControlPlane:
         self.writeback = writeback
         self.fetch = fetch
         self.fetch_run = fetch_run
+        #: optional :class:`~repro.fault.CircuitBreaker` guarding the
+        #: writeback backend: while open, dirty pages stay dirty (and keep
+        #: their bucket queued) instead of burning retries per flush round
+        self.breaker = breaker
+        self.writeback_failures = 0
+        self.writeback_skipped = 0
         self.prefetch_enabled = prefetch_enabled and (
             fetch is not None or fetch_run is not None
         )
@@ -179,6 +186,15 @@ class CacheControlPlane:
 
     def _policy_of_idx(self, idx: int):
         return self._shard_for(idx // self.layout.entries_per_bucket).policy
+
+    def dirty_pages(self) -> int:
+        """Instantaneous count of dirty entries (diagnostic host-side scan)."""
+        lay = self.layout
+        return sum(
+            1
+            for idx in range(lay.pages)
+            if lay.read_entry(idx)["status"] == ST_DIRTY
+        )
 
     def _route(self, msg: tuple) -> None:
         kind = msg[0]
@@ -372,13 +388,31 @@ class CacheControlPlane:
             self.layout.lock_addr(idx), LOCK_READ, LOCK_FREE, tag="lock-cas"
         )
 
+    def _remark_dirty(self, idx: int) -> None:
+        """Re-queue an entry's bucket after a failed/skipped writeback.
+
+        The entry itself is still ST_DIRTY (it is only marked clean after a
+        successful writeback); this just makes sure the flusher revisits its
+        bucket even though the dirty-hint set was already drained.
+        """
+        bucket = idx // self.layout.entries_per_bucket
+        self._shard_for(bucket).dirty_buckets.add(bucket)
+
     def _writeback_one(self, idx: int, ent: dict, data: bytes) -> Generator[Event, None, None]:
         """Backend processing for one locked dirty page (EC/compression run
         here in the paper; we compute the DIF guard tag on the DPU).
 
         The page data is untouched, so the seqlock generation is left
-        alone — only key/data mutations bump it.
+        alone — only key/data mutations bump it.  A writeback the backend
+        fails (retry budget exhausted) leaves the page dirty and trips the
+        circuit breaker; while the breaker is open the flusher degrades to
+        skipping the backend entirely — the half-open probe after the reset
+        window is the first page to try again.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            self.writeback_skipped += 1
+            self._remark_dirty(idx)
+            return
         yield from self.dpu_cpu.execute(
             self.params.dpu_cache_ctrl_cost, tag="cache-flush"
         )
@@ -394,12 +428,23 @@ class CacheControlPlane:
             lock = self._wb_locks[block] = Resource(self.env, 1)
         req = lock.request()
         yield req
+        failed = False
         try:
             yield from self.writeback(ent["inode"], ent["lpn"], data)
+        except Exception:
+            failed = True
         finally:
             lock.release(req)
             if lock.count == 0 and lock.queue_len == 0:
                 self._wb_locks.pop(block, None)
+        if failed:
+            self.writeback_failures += 1
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            self._remark_dirty(idx)
+            return
+        if self.breaker is not None:
+            self.breaker.record_success()
         # Mark clean: 4-byte DMA write of the status field.
         yield from self.link.dma_write(
             self.layout.entry_addr(idx) + 4, ST_CLEAN.to_bytes(4, "little"), tag="flush-status"
@@ -461,6 +506,12 @@ class CacheControlPlane:
         for idx in order:
             if emap[idx]["status"] == ST_DIRTY:
                 yield from self._flush_entry(idx)
+                if self.breaker is not None:
+                    # With a fallible backend the flush may not have landed;
+                    # never free a still-dirty victim (that would drop data).
+                    ent = yield from self._dma_read_entry(idx)
+                    if ent["status"] == ST_DIRTY:
+                        continue
             # Free it: write-lock via PCIe atomic, clear status, bump free.
             ok = yield from self.link.atomic_cas_u32(
                 self.layout.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"

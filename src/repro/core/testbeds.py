@@ -25,6 +25,7 @@ from ..cache.layout import CacheLayout
 from ..dfs import MdsCluster, OffloadedDfsClient, StandardNfsClient, build_dfs
 from ..dpu.dispatch import IoDispatch
 from ..dpu.virtual import VirtualClient
+from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
 from ..host.adapters import Ext4Adapter
 from ..host.fsadapter import DpcAdapter, DpfsAdapter
 from ..host.vfs import Vfs
@@ -92,6 +93,8 @@ class DpcSystem:
     dataservers: Optional[list] = None
     dfs_client: Optional[OffloadedDfsClient] = None
     dfs_adapter: Optional[DpcAdapter] = None
+    fault_plane: Optional[FaultPlane] = None
+    breaker: Optional[CircuitBreaker] = None
 
     def run_until(self, gen):
         """Drive one simulation process to completion; return its value."""
@@ -105,9 +108,18 @@ def build_dpc_system(
     prefetch: bool = True,
     num_queues: Optional[int] = None,
 ) -> DpcSystem:
-    """Assemble the full DPC system of paper Figure 3."""
+    """Assemble the full DPC system of paper Figure 3.
+
+    A :class:`FaultPlane` is always installed (on the fabric and the nvme-fs
+    target) but stays inert — zero RNG draws, zero clock perturbation —
+    until a fault schedule is scripted onto it.  Retry policies follow
+    ``params.rpc_timeout``: the default 0 keeps every client on the
+    fail-free fast path.
+    """
     p = params or default_params()
-    env = Environment()
+    env = Environment(seed=p.seed)
+    plane = FaultPlane(env)
+    retry = retry_policy_from(p)
     host_cpu = _host_cpu(env, p)
     dpu_cpu = _dpu_cpu(env, p)
     arena = MemoryArena(p.host_arena_bytes)
@@ -115,6 +127,7 @@ def build_dpc_system(
         env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth, engines=p.pcie_engines
     )
     fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    fabric.fault_plane = plane
     # Disaggregated backends (the DPU's fabric endpoint is "dpc").
     kv_cluster = KvCluster(env, fabric, p)
     fabric.attach("dpc")
@@ -124,6 +137,8 @@ def build_dpc_system(
         kv_cluster.shard_names(),
         route_fn=kvfs_schema.routing_key,
         scan_route_fn=kvfs_schema.scan_routing,
+        retry=retry,
+        plane=plane,
     )
     kvfs = Kvfs(env, kv_client, dpu_cpu, p)
     mds = dataservers = layout = dfs_client = None
@@ -141,11 +156,13 @@ def build_dpc_system(
             cpu_write=p.dpc_dfs_cpu_write,
             ec_scale=0.3,  # hardware-assisted EC on the DPU
             cpu_tag="dpc-dfs",
+            retry=retry,
+            plane=plane,
         )
     # nvme-fs transport.
     ini = NvmeFsInitiator(env, arena, link, host_cpu, p, num_queues=num_queues)
     # Hybrid cache.
-    cache_layout = cache_host = cache_ctrl = None
+    cache_layout = cache_host = cache_ctrl = breaker = None
     dispatch = IoDispatch(env, dpu_cpu, p, kvfs=kvfs, dfs_client=dfs_client)
     if with_cache:
         from ..sim.resources import Store
@@ -155,6 +172,9 @@ def build_dpc_system(
         )
         mailbox = Store(env)
         cache_host = HostCachePlane(env, cache_layout, host_cpu, p, mailbox)
+        breaker = CircuitBreaker(
+            env, p.breaker_failures, p.breaker_reset, name="cache-wb", plane=plane
+        )
         cache_ctrl = CacheControlPlane(
             env,
             link,
@@ -166,19 +186,23 @@ def build_dpc_system(
             fetch=dispatch.cache_fetch,
             prefetch_enabled=prefetch,
             fetch_run=dispatch.cache_fetch_run,
+            breaker=breaker,
         )
         dispatch.cache_ctrl = cache_ctrl
     tgt = NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, dispatch.backend)
+    tgt.fault_plane = plane
     # Host VFS with the fs-adapter mounts.
     vfs = Vfs(env, host_cpu, p)
     kvfs_adapter = DpcAdapter(
-        env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.STANDALONE
+        env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.STANDALONE,
+        breaker=breaker,
     )
     vfs.mount("/kvfs", kvfs_adapter)
     dfs_adapter = None
     if with_dfs:
         dfs_adapter = DpcAdapter(
-            env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.DISTRIBUTED
+            env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.DISTRIBUTED,
+            breaker=breaker,
         )
         vfs.mount("/dfs", dfs_adapter)
     return DpcSystem(
@@ -203,6 +227,8 @@ def build_dpc_system(
         dataservers=dataservers,
         dfs_client=dfs_client,
         dfs_adapter=dfs_adapter,
+        fault_plane=plane,
+        breaker=breaker,
     )
 
 
@@ -228,7 +254,7 @@ def build_ext4_system(
     capacity_blocks: int = 1 << 22,
 ) -> Ext4System:
     p = params or default_params()
-    env = Environment()
+    env = Environment(seed=p.seed)
     host_cpu = _host_cpu(env, p)
     ssd = NvmeSsd(
         env,
@@ -270,7 +296,7 @@ def build_raw_transport(
 ) -> RawTransport:
     """The §4.1 rig: transport + virtual client, nothing else."""
     p = params or default_params()
-    env = Environment()
+    env = Environment(seed=p.seed)
     host_cpu = _host_cpu(env, p)
     dpu_cpu = _dpu_cpu(env, p)
     arena = MemoryArena(p.host_arena_bytes)
@@ -304,20 +330,28 @@ class HostDfsTestbed:
     layout: object
     std_client: StandardNfsClient
     opt_client: OffloadedDfsClient
+    fault_plane: Optional[FaultPlane] = None
 
     def run_until(self, gen):
         return self.env.run(until=self.env.process(gen))
 
 
-def build_host_dfs_clients(params: Optional[SystemParams] = None) -> HostDfsTestbed:
+def build_host_dfs_clients(
+    params: Optional[SystemParams] = None, degraded_reads: bool = True
+) -> HostDfsTestbed:
     p = params or default_params()
-    env = Environment()
+    env = Environment(seed=p.seed)
+    plane = FaultPlane(env)
+    retry = retry_policy_from(p)
     host_cpu = _host_cpu(env, p)
     fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    fabric.fault_plane = plane
     mds, dataservers, layout = build_dfs(env, fabric, p)
     fabric.attach("std-client")
     fabric.attach("opt-client")
-    std = StandardNfsClient(env, fabric, "std-client", p.n_mds, host_cpu, p)
+    std = StandardNfsClient(
+        env, fabric, "std-client", p.n_mds, host_cpu, p, retry=retry, plane=plane
+    )
     opt = OffloadedDfsClient(
         env,
         fabric,
@@ -328,5 +362,10 @@ def build_host_dfs_clients(params: Optional[SystemParams] = None) -> HostDfsTest
         p,
         cpu_read=p.opt_client_cpu_read,
         cpu_write=p.opt_client_cpu_write,
+        retry=retry,
+        plane=plane,
+        degraded_reads=degraded_reads,
     )
-    return HostDfsTestbed(env, p, host_cpu, fabric, mds, dataservers, layout, std, opt)
+    return HostDfsTestbed(
+        env, p, host_cpu, fabric, mds, dataservers, layout, std, opt, fault_plane=plane
+    )

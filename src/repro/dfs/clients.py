@@ -23,6 +23,12 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..ec import StripeLayout
+from ..fault.retry import (
+    RetryBudgetExceeded,
+    RetryPolicy,
+    RpcTimeout,
+    call_with_timeout,
+)
 from ..params import SystemParams
 from ..proto.filemsg import Errno, FileAttr
 from ..sim.core import Environment, Event
@@ -53,7 +59,57 @@ class DfsError(RuntimeError):
         self.errno_code = errno_code
 
 
-class StandardNfsClient:
+class _FailureAwareRpc:
+    """Shared MDS RPC machinery: deadlines, backoff, idempotency stamping.
+
+    With ``retry=None`` every call degenerates to a bare ``fabric.rpc`` —
+    the fail-free fast path, byte-identical to the pre-fault-plane clients.
+    With a policy, each attempt is raced against a deadline and mutations
+    are wrapped as ``("idem", token, op)`` with a token that stays constant
+    across retries, so the home MDS applies them exactly once.
+    """
+
+    def _init_fault(self, retry: Optional[RetryPolicy], plane) -> None:
+        self.retry = retry
+        self.plane = plane
+        self._rng = self.fabric.env.substream(f"dfs-retry:{self.src}")
+        self._opseq = 0
+        self.retries = 0
+        self.timeouts_exhausted = 0
+
+    def _mds_call(
+        self, dst: str, op: tuple, size: int, mutating: bool = False
+    ) -> Generator[Event, None, object]:
+        payload = op
+        pol = self.retry
+        if mutating and pol is not None:
+            self._opseq += 1
+            payload = ("idem", f"{self.src}#{self._opseq}", op)
+        if pol is None:
+            resp = yield from self.fabric.rpc(self.src, dst, payload, size)
+            return resp
+        env = self.fabric.env
+        for attempt in range(1, pol.max_attempts + 1):
+            try:
+                resp = yield from call_with_timeout(
+                    env, self.fabric.rpc(self.src, dst, payload, size), pol.timeout
+                )
+                return resp
+            except RpcTimeout:
+                if attempt >= pol.max_attempts:
+                    self.timeouts_exhausted += 1
+                    if self.plane is not None:
+                        self.plane.record("retry-exhausted", self.src, dst)
+                    raise RetryBudgetExceeded(
+                        f"{self.src}->{dst} {op[0]} failed after {attempt} attempts"
+                    )
+                self.retries += 1
+                if self.plane is not None:
+                    self.plane.record("retry", self.src, f"{dst}:{op[0]}#{attempt}")
+                yield env.timeout(pol.backoff(attempt, self._rng))
+
+
+class StandardNfsClient(_FailureAwareRpc):
     """Baseline NFS-like client: everything through the entry MDS."""
 
     #: NFS rsize/wsize: larger I/O is split into these chunks
@@ -68,6 +124,8 @@ class StandardNfsClient:
         host_cpu: CpuPool,
         params: SystemParams,
         entry_mds: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        plane=None,
     ):
         self.env = env
         self.fabric = fabric
@@ -76,6 +134,7 @@ class StandardNfsClient:
         self.cpu = host_cpu
         self.params = params
         self.ops = 0
+        self._init_fault(retry, plane)
 
     def _charge(self, write: bool = True) -> Generator[Event, None, None]:
         cost = (
@@ -83,15 +142,19 @@ class StandardNfsClient:
         )
         yield from self.cpu.execute(cost, tag="nfs-std")
 
-    def _rpc(self, op: tuple, size: int) -> Generator[Event, None, object]:
-        resp = yield from self.fabric.rpc(self.src, self.entry, op, size)
+    def _rpc(
+        self, op: tuple, size: int, mutating: bool = False
+    ) -> Generator[Event, None, object]:
+        resp = yield from self._mds_call(self.entry, op, size, mutating)
         return resp
 
     # -- namespace ----------------------------------------------------------------
     def create(self, p_ino: int, name: bytes, mode: int = S_IFREG | 0o644) -> Generator[Event, None, FileAttr]:
         self.ops += 1
         yield from self._charge()
-        resp = yield from self._rpc(("create", p_ino, name, mode), MSG_OVERHEAD + len(name))
+        resp = yield from self._rpc(
+            ("create", p_ino, name, mode), MSG_OVERHEAD + len(name), mutating=True
+        )
         if isinstance(resp, tuple) and resp and resp[0] == "err":
             raise DfsError(resp[1])
         return resp
@@ -114,7 +177,9 @@ class StandardNfsClient:
     def unlink(self, p_ino: int, name: bytes) -> Generator[Event, None, None]:
         self.ops += 1
         yield from self._charge()
-        resp = yield from self._rpc(("unlink", p_ino, name), MSG_OVERHEAD + len(name))
+        resp = yield from self._rpc(
+            ("unlink", p_ino, name), MSG_OVERHEAD + len(name), mutating=True
+        )
         if isinstance(resp, tuple) and resp and resp[0] == "err":
             raise DfsError(resp[1])
 
@@ -127,7 +192,9 @@ class StandardNfsClient:
             self.ops += 1
             yield from self._charge()
             yield from self._rpc(
-                ("write_small", ino, offset + pos, chunk), MSG_OVERHEAD + len(chunk)
+                ("write_small", ino, offset + pos, chunk),
+                MSG_OVERHEAD + len(chunk),
+                mutating=True,
             )
             pos += len(chunk)
         return len(data)
@@ -145,7 +212,7 @@ class StandardNfsClient:
         return bytes(out)
 
 
-class OffloadedDfsClient:
+class OffloadedDfsClient(_FailureAwareRpc):
     """The optimized fs-client (host or DPU resident).
 
     Optimizations implemented, mirroring §2.1:
@@ -171,6 +238,9 @@ class OffloadedDfsClient:
         ec_scale: float = 1.0,
         cpu_tag: str = "opt-client",
         use_delegations: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        plane=None,
+        degraded_reads: bool = True,
     ):
         self.env = env
         self.fabric = fabric
@@ -185,7 +255,18 @@ class OffloadedDfsClient:
         self.cpu_tag = cpu_tag
         #: ablation switch: False forces synchronous MDS creates/locks
         self.use_delegations = use_delegations
-        self.stripeio = StripeIO(env, fabric, layout, params, src, ec_charge=self._ec)
+        self._init_fault(retry, plane)
+        self.stripeio = StripeIO(
+            env,
+            fabric,
+            layout,
+            params,
+            src,
+            ec_charge=self._ec,
+            retry=retry,
+            plane=plane,
+            degraded_reads=degraded_reads,
+        )
         # Delegation state: dir ino -> leased inode numbers; pending creates.
         self._dir_lease: dict[int, list[int]] = {}
         self._pending_creates: dict[int, list[tuple[bytes, int, int]]] = {}
@@ -212,9 +293,11 @@ class OffloadedDfsClient:
     def _home(self, ino: int) -> str:
         return mds_name(ino % self.n_mds)
 
-    def _rpc(self, home_ino: int, op: tuple, size: int) -> Generator[Event, None, object]:
+    def _rpc(
+        self, home_ino: int, op: tuple, size: int, mutating: bool = False
+    ) -> Generator[Event, None, object]:
         # Metadata view: no entry-MDS forwarding, straight to the home.
-        resp = yield from self.fabric.rpc(self.src, self._home(home_ino), op, size)
+        resp = yield from self._mds_call(self._home(home_ino), op, size, mutating)
         return resp
 
     # -- namespace -------------------------------------------------------------------
@@ -226,7 +309,8 @@ class OffloadedDfsClient:
         yield from self._charge()
         if not self.use_delegations:
             resp = yield from self._rpc(
-                p_ino, ("create", p_ino, name, mode), MSG_OVERHEAD + len(name)
+                p_ino, ("create", p_ino, name, mode), MSG_OVERHEAD + len(name),
+                mutating=True,
             )
             if isinstance(resp, tuple) and resp and resp[0] == "err":
                 raise DfsError(resp[1])
@@ -235,7 +319,7 @@ class OffloadedDfsClient:
         lease = self._dir_lease.get(p_ino)
         if lease is None:
             resp = yield from self._rpc(
-                p_ino, ("deleg_acquire", p_ino, "dir"), MSG_OVERHEAD
+                p_ino, ("deleg_acquire", p_ino, "dir"), MSG_OVERHEAD, mutating=True
             )
             status, inos = resp
             if status == "granted":
@@ -245,7 +329,8 @@ class OffloadedDfsClient:
             else:
                 # Contended directory: fall back to synchronous create.
                 resp = yield from self._rpc(
-                    p_ino, ("create", p_ino, name, mode), MSG_OVERHEAD + len(name)
+                    p_ino, ("create", p_ino, name, mode), MSG_OVERHEAD + len(name),
+                    mutating=True,
                 )
                 if isinstance(resp, tuple) and resp and resp[0] == "err":
                     raise DfsError(resp[1])
@@ -253,7 +338,7 @@ class OffloadedDfsClient:
         if not lease:
             yield from self._commit_creates(p_ino)
             resp = yield from self._rpc(
-                p_ino, ("deleg_acquire", p_ino, "dir"), MSG_OVERHEAD
+                p_ino, ("deleg_acquire", p_ino, "dir"), MSG_OVERHEAD, mutating=True
             )
             self._dir_lease[p_ino] = list(resp[1])
             lease = self._dir_lease[p_ino]
@@ -277,6 +362,7 @@ class OffloadedDfsClient:
             p_ino,
             ("batch_create", p_ino, pending),
             MSG_OVERHEAD + sum(len(n) + 16 for n, _i, _m in pending),
+            mutating=True,
         )
 
     def flush_metadata(self) -> Generator[Event, None, None]:
@@ -289,8 +375,9 @@ class OffloadedDfsClient:
                 by_home.setdefault(ino % self.n_mds, []).append((ino, size))
             self._dirty_sizes = {}
             for home, updates in by_home.items():
-                yield from self.fabric.rpc(
-                    self.src, mds_name(home), ("batch_setsize", updates), MSG_OVERHEAD
+                yield from self._mds_call(
+                    mds_name(home), ("batch_setsize", updates), MSG_OVERHEAD,
+                    mutating=True,
                 )
 
     def lookup(self, p_ino: int, name: bytes) -> Generator[Event, None, Optional[FileAttr]]:
@@ -331,7 +418,9 @@ class OffloadedDfsClient:
         self.ops += 1
         yield from self._charge()
         yield from self._commit_creates(p_ino)
-        resp = yield from self._rpc(p_ino, ("unlink", p_ino, name), MSG_OVERHEAD + len(name))
+        resp = yield from self._rpc(
+            p_ino, ("unlink", p_ino, name), MSG_OVERHEAD + len(name), mutating=True
+        )
         if isinstance(resp, tuple) and resp and resp[0] == "err":
             raise DfsError(resp[1])
 
@@ -343,7 +432,9 @@ class OffloadedDfsClient:
             )
             self.deleg_hits += 1
             return True
-        resp = yield from self._rpc(ino, ("deleg_acquire", ino, "file"), MSG_OVERHEAD)
+        resp = yield from self._rpc(
+            ino, ("deleg_acquire", ino, "file"), MSG_OVERHEAD, mutating=True
+        )
         if resp[0] == "granted":
             self._file_deleg.add(ino)
             return True

@@ -41,14 +41,36 @@ class DataServer:
         #: failure injection: a failed server answers every request with an
         #: error (clients fall back to degraded EC reads)
         self.failed = False
+        #: crashed: requests vanish entirely — only client timeouts notice
+        self.dropped = False
         env.process(self._serve(), name=self.name)
 
     def fail(self) -> None:
-        """Inject a crash: all subsequent requests error out."""
+        """Inject a fail-stop outage: subsequent requests error out."""
         self.failed = True
 
     def recover(self) -> None:
         self.failed = False
+        self.dropped = False
+
+    def crash(self, lose_data: bool = False) -> None:
+        """Go down hard: requests (and in-flight replies) vanish.
+
+        ``lose_data=True`` models losing the local media too — the server
+        comes back empty and must be re-populated by background
+        reconstruction (:meth:`StripeIO.rebuild_file`) before its units can
+        be trusted again.
+        """
+        self.failed = True
+        self.dropped = True
+        if lose_data:
+            self.units.clear()
+
+    def restart(self) -> Generator[Event, None, None]:
+        """Come back up after the restart delay (process respawn)."""
+        yield self.env.timeout(self.params.ds_restart_delay)
+        self.failed = False
+        self.dropped = False
 
     def _serve(self) -> Generator[Event, None, None]:
         while True:
@@ -56,6 +78,8 @@ class DataServer:
             self.env.process(self._handle(msg), name=f"{self.name}-req")
 
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
+        if self.dropped:
+            return  # crashed: the request is never answered
         if self.failed:
             yield from self.fabric.reply(msg, ("err", "EHOSTDOWN"), MSG_OVERHEAD)
             return
@@ -65,6 +89,8 @@ class DataServer:
             resp, size = yield from self._execute(msg.payload)
         finally:
             self.threads.release(req)
+        if self.dropped:
+            return  # crashed mid-service: the reply is lost with the node
         yield from self.fabric.reply(msg, resp, size)
 
     def _execute(self, op: tuple) -> Generator[Event, None, tuple]:

@@ -15,7 +15,18 @@ service time attached.
 
 Delegations: an MDS grants a directory or file delegation to one client at
 a time; a directory grant carries an inode-number lease so the client can
-create files locally and batch-commit them (BatchFS-style).
+create files locally and batch-commit them (BatchFS-style).  Grants are
+**time-bounded**: a delegation expires ``deleg_lease`` simulated seconds
+after acquisition, so a crashed or silent client cannot pin a directory
+forever — the next contender's acquire recalls the stale grant.
+:meth:`MdsServer.expire_client` force-revokes everything a known-dead
+client held.
+
+Failure handling: clients may wrap any mutating op as
+``("idem", token, op)``; the home MDS memoises the response per token so a
+timeout-retried or fabric-duplicated mutation (create, unlink, size
+update, packed write) applies exactly once.  The entry MDS forwards the
+*wrapped* payload, so dedupe always happens at the single home authority.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import dataclasses
 from typing import Generator, Optional
 
 from ..ec import StripeLayout
+from ..fault.idempotency import PENDING, IdempotencyFilter
 from ..params import SystemParams
 from ..proto.filemsg import FileAttr
 from ..sim.core import Environment, Event
@@ -69,8 +81,11 @@ class MdsServer:
         # Partitioned state.
         self.dentries: dict[tuple[int, bytes], int] = {}
         self.attrs: dict[int, FileAttr] = {}
-        #: delegation key -> owner client name
-        self.delegations: dict[tuple, str] = {}
+        #: delegation key -> (owner client name, lease expiry sim-time)
+        self.delegations: dict[tuple, tuple[str, float]] = {}
+        self._idem = IdempotencyFilter()
+        #: stale/forced delegation revocations
+        self.recalls = 0
         #: inode allocator for this MDS's id space (ino % n_mds == index)
         self._next_ino = index if index != DFS_ROOT_INO % n_mds else index + n_mds
         if index == DFS_ROOT_INO % n_mds:
@@ -115,21 +130,38 @@ class MdsServer:
 
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
         op = msg.payload
+        token = None
+        if isinstance(op, tuple) and op and op[0] == "idem":
+            _wrap, token, op = msg.payload
         home = self._home_of_op(op)
         if home != self.index:
             # Entry-MDS proxying: pay forward CPU, relay to the home MDS,
-            # and relay the response back (paper §2.1).
+            # and relay the response back (paper §2.1).  The *wrapped*
+            # payload is forwarded so the home authority does the dedupe.
             self.forwards += 1
             yield self.env.timeout(self.params.mds_forward_cost)
             resp = yield from self.fabric.rpc(
-                self.name, mds_name(home), op, msg.size
+                self.name, mds_name(home), msg.payload, msg.size
             )
             yield from self.fabric.reply(msg, resp, MSG_OVERHEAD)
             return
         req = self.threads.request()
         yield req
         try:
-            resp, size = yield from self._execute(op, msg.src)
+            seen, cached = self._idem.check(token)
+            while seen and cached is PENDING:
+                # Same-token execution in flight (fabric duplicate): park
+                # until the response lands, then replay it.
+                yield self.env.timeout(self.params.mds_service)
+                seen, cached = self._idem.check(token)
+            if seen:
+                # Retried / duplicated mutation: replay the memoised answer.
+                yield self.env.timeout(self.params.mds_service)
+                resp, size = cached
+            else:
+                self._idem.put(token, PENDING)
+                resp, size = yield from self._execute(op, msg.src)
+                self._idem.put(token, (resp, size))
         finally:
             self.threads.release(req)
         self.ops_served += 1
@@ -201,12 +233,17 @@ class MdsServer:
         if kind == "deleg_acquire":
             _, key_ino, key_kind = op
             key = (key_kind, key_ino)
-            owner = self.delegations.get(key)
-            if owner is None or owner == client:
-                self.delegations[key] = client
-                lease = self._alloc_ino_range(64) if key_kind == "dir" else []
-                return ("granted", lease), MSG_OVERHEAD
-            return ("denied", []), MSG_OVERHEAD
+            entry = self.delegations.get(key)
+            now = self.env.now
+            if entry is not None and entry[0] != client:
+                if entry[1] > now:
+                    return ("denied", []), MSG_OVERHEAD
+                # Lease expired: recall the stale grant from its (crashed or
+                # silent) owner and hand the delegation to the contender.
+                self.recalls += 1
+            self.delegations[key] = (client, now + p.deleg_lease)
+            lease = self._alloc_ino_range(64) if key_kind == "dir" else []
+            return ("granted", lease), MSG_OVERHEAD
         if kind == "deleg_release":
             _, key_ino, key_kind = op
             self.delegations.pop((key_kind, key_ino), None)
@@ -226,6 +263,18 @@ class MdsServer:
             data = yield from self.stripeio.read(ino, offset, length)
             return data, MSG_OVERHEAD + len(data)
         raise ValueError(f"unknown MDS op {kind!r}")
+
+    def expire_client(self, client: str) -> int:
+        """Force-revoke every delegation ``client`` holds (client failure).
+
+        Returns the number of delegations recalled.  Used by fault scripts
+        when a client is declared dead before its leases run out.
+        """
+        gone = [k for k, (owner, _exp) in self.delegations.items() if owner == client]
+        for key in gone:
+            del self.delegations[key]
+        self.recalls += len(gone)
+        return len(gone)
 
     def _fetch_attr(self, ino: int) -> Generator[Event, None, Optional[FileAttr]]:
         home = self.home_of_ino(ino)

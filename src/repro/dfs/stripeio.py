@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon, StripeLayout
+from ..fault.retry import RetryPolicy, RpcTimeout, call_with_timeout
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
@@ -43,6 +44,9 @@ class StripeIO:
         params: SystemParams,
         src: str,
         ec_charge: EcCharge = None,
+        retry: Optional[RetryPolicy] = None,
+        plane=None,
+        degraded_reads: bool = True,
     ):
         self.env = env
         self.fabric = fabric
@@ -50,10 +54,53 @@ class StripeIO:
         self.params = params
         self.src = src
         self.ec_charge = ec_charge
+        #: per-RPC deadline + backoff policy; None = wait forever (fail-free)
+        self.retry = retry
+        self.plane = plane
+        #: ablation switch: with False, a down data server fails the read
+        #: instead of reconstructing from surviving shards
+        self.degraded_reads = degraded_reads
+        self._rng = env.substream(f"stripeio:{src}")
         self.units_read = 0
         self.units_written = 0
+        self.retries = 0
+        self.degraded_stripes = 0
+        self.rebuilt_units = 0
 
     # -- plumbing --------------------------------------------------------------
+    def _ds_call(
+        self, server: int, op: tuple, size: int
+    ) -> Generator[Event, None, object]:
+        """RPC to a data server under the retry policy.
+
+        A server that stays silent through the whole retry budget is
+        indistinguishable from one that answered "down": the exhausted
+        budget surfaces as an ``("err", "ETIMEDOUT")`` reply so the EC
+        degraded-read machinery treats both identically.
+        """
+        pol = self.retry
+        if pol is None:
+            resp = yield from self.fabric.rpc(self.src, ds_name(server), op, size)
+            return resp
+        for attempt in range(1, pol.max_attempts + 1):
+            try:
+                resp = yield from call_with_timeout(
+                    self.env,
+                    self.fabric.rpc(self.src, ds_name(server), op, size),
+                    pol.timeout,
+                )
+                return resp
+            except RpcTimeout:
+                if attempt >= pol.max_attempts:
+                    if self.plane is not None:
+                        self.plane.record("retry-exhausted", self.src, ds_name(server))
+                    return ("err", "ETIMEDOUT")
+                self.retries += 1
+                if self.plane is not None:
+                    self.plane.record(
+                        "retry", self.src, f"ds{server}:{op[0]}#{attempt}"
+                    )
+                yield self.env.timeout(pol.backoff(attempt, self._rng))
     def _parallel(self, gens: list) -> Generator[Event, None, list]:
         procs = [self.env.process(g) for g in gens]
         if not procs:
@@ -66,9 +113,7 @@ class StripeIO:
         return isinstance(resp, tuple) and len(resp) == 2 and resp[0] == "err"
 
     def _read_unit(self, server: int, key: str) -> Generator[Event, None, bytes]:
-        data = yield from self.fabric.rpc(
-            self.src, ds_name(server), ("read_unit", key), MSG_OVERHEAD
-        )
+        data = yield from self._ds_call(server, ("read_unit", key), MSG_OVERHEAD)
         if self._is_err(data):
             raise StorageUnavailable(f"ds{server}: {data[1]}")
         self.units_read += 1
@@ -78,17 +123,15 @@ class StripeIO:
         self, server: int, key: str
     ) -> Generator[Event, None, tuple[bool, object]]:
         """(True, data) on success; (False, server) if the server is down."""
-        data = yield from self.fabric.rpc(
-            self.src, ds_name(server), ("read_unit", key), MSG_OVERHEAD
-        )
+        data = yield from self._ds_call(server, ("read_unit", key), MSG_OVERHEAD)
         if self._is_err(data):
             return False, server
         self.units_read += 1
         return True, data if data is not None else bytes(self.layout.stripe_unit)
 
     def _write_unit(self, server: int, key: str, data: bytes) -> Generator[Event, None, None]:
-        resp = yield from self.fabric.rpc(
-            self.src, ds_name(server), ("write_unit", key, data), MSG_OVERHEAD + len(data)
+        resp = yield from self._ds_call(
+            server, ("write_unit", key, data), MSG_OVERHEAD + len(data)
         )
         if self._is_err(resp):
             raise StorageUnavailable(f"ds{server}: {resp[1]}")
@@ -97,8 +140,8 @@ class StripeIO:
     def _write_unit_safe(
         self, server: int, key: str, data: bytes
     ) -> Generator[Event, None, bool]:
-        resp = yield from self.fabric.rpc(
-            self.src, ds_name(server), ("write_unit", key, data), MSG_OVERHEAD + len(data)
+        resp = yield from self._ds_call(
+            server, ("write_unit", key, data), MSG_OVERHEAD + len(data)
         )
         if self._is_err(resp):
             return False
@@ -144,6 +187,10 @@ class StripeIO:
             if ok:
                 out.append(payload[lo:hi])
                 continue
+            if not self.degraded_reads:
+                raise StorageUnavailable(
+                    f"ds{payload} down and degraded reads are disabled"
+                )
             if stripe not in degraded_cache:
                 degraded_cache[stripe] = yield from self.read_degraded(
                     file_id, stripe, {payload}
@@ -179,7 +226,82 @@ class StripeIO:
                 f"stripe {stripe}: only {alive} of {lay.rs.k} required shards reachable"
             )
         yield from self._charge_ec(lay.stripe_size)
+        self.degraded_stripes += 1
+        if self.plane is not None:
+            self.plane.record("degraded-read", self.src, f"f{file_id}:s{stripe}")
         return lay.decode_stripe(shards)
+
+    # -- background reconstruction ---------------------------------------------
+    def rebuild_stripe(
+        self,
+        file_id: int,
+        stripe: int,
+        dead_servers: set[int],
+        replacement: Optional[int] = None,
+    ) -> Generator[Event, None, int]:
+        """Reconstruct one stripe's lost shards and write them back out.
+
+        Survivors are read, the stripe is decoded and re-encoded, and every
+        shard homed on a dead server is rewritten — onto ``replacement``
+        (a server index) when given, else onto the shard's original home
+        (which must have recovered, e.g. after a data-losing crash).
+        Returns the number of units rebuilt.
+        """
+        lay = self.layout
+        pl = lay.placement(file_id, stripe)
+        gens, slots = [], []
+        for loc in pl.shards:
+            if loc.server not in dead_servers:
+                gens.append(self._read_unit_safe(loc.server, loc.key))
+                slots.append(loc.shard_index)
+        results = yield from self._parallel(gens)
+        shards: list[Optional[bytes]] = [None] * (lay.rs.k + lay.rs.m)
+        alive = 0
+        for idx, (ok, payload) in zip(slots, results):
+            if ok:
+                shards[idx] = payload
+                alive += 1
+        if alive < lay.rs.k:
+            raise StorageUnavailable(
+                f"stripe {stripe}: only {alive} of {lay.rs.k} required shards reachable"
+            )
+        missing = [
+            loc for loc in pl.shards if loc.server in dead_servers or shards[loc.shard_index] is None
+        ]
+        if not missing:
+            return 0
+        yield from self._charge_ec(lay.stripe_size)
+        units = lay.encode_stripe(lay.decode_stripe(shards))
+        writes = []
+        for loc in missing:
+            target = replacement if replacement is not None else loc.server
+            writes.append(self._write_unit(target, loc.key, units[loc.shard_index]))
+        yield from self._parallel(writes)
+        self.rebuilt_units += len(missing)
+        if self.plane is not None:
+            self.plane.record(
+                "rebuild", self.src, f"f{file_id}:s{stripe}x{len(missing)}"
+            )
+        return len(missing)
+
+    def rebuild_file(
+        self,
+        file_id: int,
+        nbytes: int,
+        dead_servers: set[int],
+        replacement: Optional[int] = None,
+    ) -> Generator[Event, None, int]:
+        """Background reconstruction sweep over every affected stripe."""
+        lay = self.layout
+        n_stripes = (nbytes + lay.stripe_size - 1) // lay.stripe_size
+        total = 0
+        for stripe in range(n_stripes):
+            pl = lay.placement(file_id, stripe)
+            if any(loc.server in dead_servers for loc in pl.shards):
+                total += yield from self.rebuild_stripe(
+                    file_id, stripe, dead_servers, replacement
+                )
+        return total
 
     # -- writes --------------------------------------------------------------------
     def write(self, file_id: int, offset: int, data: bytes) -> Generator[Event, None, None]:

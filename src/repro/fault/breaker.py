@@ -1,0 +1,76 @@
+"""Circuit breaker on the simulated clock.
+
+Classic three-state breaker (closed -> open -> half-open), used to degrade
+the hybrid cache to write-through when the DPU-side flusher backend is
+unreachable: while the breaker is open the adapter stops buffering dirty
+pages (new writes go straight down the nvme-fs path) and the flusher
+leaves dirty pages queued instead of burning retries against a dead
+backend.  After ``reset_after`` simulated seconds the breaker admits one
+probe (half-open); a success closes it, a failure re-opens it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Environment
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Closed/open/half-open failure breaker keyed on ``env.now``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        failure_threshold: int = 3,
+        reset_after: float = 2e-3,
+        name: str = "breaker",
+        plane=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.env = env
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.name = name
+        self.plane = plane
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        #: times the breaker transitioned closed/half-open -> open
+        self.trips = 0
+        #: times a half-open probe succeeded and re-closed the breaker
+        self.resets = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an expired open window reads as ``half-open``."""
+        if self._state == "open" and self.env.now - self._opened_at >= self.reset_after:
+            self._state = "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed?  Half-open admits probe traffic."""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            self.resets += 1
+            if self.plane is not None:
+                self.plane.record("breaker-close", self.name)
+        self._state = "closed"
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        was_open = self._state == "open"
+        if self.state == "half-open" or self._failures >= self.failure_threshold:
+            if not was_open:
+                self.trips += 1
+                if self.plane is not None:
+                    self.plane.record("breaker-open", self.name)
+            self._state = "open"
+            self._opened_at = self.env.now
+            self._failures = 0

@@ -1,0 +1,66 @@
+"""Server-side dedupe of retried / duplicated mutations.
+
+A client stamps every mutating RPC with a token that stays *constant
+across retries* of the same logical operation.  The server consults its
+:class:`IdempotencyFilter` before executing: a token it has already
+answered replays the stored response instead of re-applying the mutation,
+so message duplication and timeout-driven retries are exactly-once from
+the application's point of view.
+
+The filter is a capped FIFO map — old tokens age out once the window is
+full, which is safe because a client's retry budget bounds how long a
+token can remain live.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["IdempotencyFilter", "PENDING"]
+
+_MISS = object()
+
+#: sentinel response: the token's first execution is still in flight.  A
+#: server reserves a token with ``put(token, PENDING)`` *before* executing,
+#: so a same-instant fabric duplicate parks until the response is memoised
+#: instead of racing the first execution.
+PENDING = object()
+
+
+class IdempotencyFilter:
+    """Capped token -> response memo for exactly-once mutation semantics."""
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._seen: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def check(self, token: Optional[Hashable]) -> Tuple[bool, Any]:
+        """Return ``(seen, stored_response)`` for ``token``.
+
+        ``token=None`` (an unstamped request) always misses and is never
+        remembered.
+        """
+        if token is None:
+            return False, None
+        value = self._seen.get(token, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, token: Optional[Hashable], response: Any) -> None:
+        """Remember the response for ``token`` (no-op for ``None``)."""
+        if token is None:
+            return
+        self._seen[token] = response
+        if len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -139,11 +139,19 @@ class DpcAdapter(_TransportAdapterBase):
         params: SystemParams,
         cache: Optional[HostCachePlane] = None,
         req_type: int = ReqType.STANDALONE,
+        breaker=None,
     ):
         super().__init__(env, host_cpu, params)
         self.ini = ini
         self.cache = cache
         self.req_type = req_type
+        #: optional :class:`~repro.fault.CircuitBreaker` shared with the
+        #: cache control plane: while it is open the flusher cannot drain
+        #: dirty pages, so buffered writes degrade to write-through — the
+        #: caller sees the backend error instead of silently accumulating
+        #: unflushable dirty state
+        self.breaker = breaker
+        self.writethrough_ops = 0
         #: host-known file sizes grown by unflushed buffered writes
         self._sizes: dict[int, int] = {}
 
@@ -276,7 +284,10 @@ class DpcAdapter(_TransportAdapterBase):
 
     def write(self, ino, offset, data, flags=0):
         """Direct -> nvme-fs WRITE; buffered -> host cache pages (dirty)."""
-        if flags & O_DIRECT or self.cache is None:
+        bypass_cache = self.breaker is not None and self.breaker.state == "open"
+        if bypass_cache:
+            self.writethrough_ops += 1
+        if flags & O_DIRECT or self.cache is None or bypass_cache:
             results = yield from self._submit_split(
                 FileOp.WRITE, ino, offset, data, len(data), flags
             )

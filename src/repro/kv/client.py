@@ -8,6 +8,14 @@ shorter than 8 bytes fan out to every shard and merge.
 
 Cross-shard atomicity (rename moves keys between directories, hence shards)
 uses two-phase commit against the shard servers' prepare/commit/abort ops.
+
+Failure handling: when constructed with a :class:`RetryPolicy`, every RPC
+is raced against a per-attempt deadline and retried with exponential
+backoff + seeded jitter up to the retry budget.  Mutations are stamped
+with an idempotency token that stays constant across retries, so a
+duplicated or replayed mutation applies exactly once server-side.  With
+``retry=None`` (the default) behaviour is byte-identical to the fail-free
+client.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Generator, Optional, Sequence
 
+from ..fault.retry import RetryBudgetExceeded, RetryPolicy, RpcTimeout, call_with_timeout
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
 from .server import MSG_OVERHEAD
@@ -44,6 +53,8 @@ class KvClient:
         shard_names: Sequence[str],
         route_fn=None,
         scan_route_fn=None,
+        retry: Optional[RetryPolicy] = None,
+        plane=None,
     ):
         if not shard_names:
             raise ValueError("need at least one shard")
@@ -54,8 +65,51 @@ class KvClient:
         self.scan_route_fn = scan_route_fn or (
             lambda prefix: prefix[:8] if len(prefix) >= 8 else None
         )
+        self.retry = retry
+        self.plane = plane
+        self._rng = fabric.env.substream(f"kv-retry:{src}")
         self._txseq = 0
+        self._opseq = 0
         self.ops_issued = 0
+        self.retries = 0
+        self.timeouts_exhausted = 0
+
+    # -- failure handling ---------------------------------------------------------
+    def _token(self) -> Optional[str]:
+        """Idempotency token for one logical mutation (None when retries are
+        off: the wire format stays identical to the fail-free client)."""
+        if self.retry is None:
+            return None
+        self._opseq += 1
+        return f"{self.src}#{self._opseq}"
+
+    def _call(
+        self, dst: str, payload: tuple, size: int
+    ) -> Generator[Event, None, Any]:
+        """One logical RPC: deadline + backoff + retry budget."""
+        pol = self.retry
+        if pol is None:
+            resp = yield from self.fabric.rpc(self.src, dst, payload, size)
+            return resp
+        env = self.fabric.env
+        for attempt in range(1, pol.max_attempts + 1):
+            try:
+                resp = yield from call_with_timeout(
+                    env, self.fabric.rpc(self.src, dst, payload, size), pol.timeout
+                )
+                return resp
+            except RpcTimeout:
+                if attempt >= pol.max_attempts:
+                    self.timeouts_exhausted += 1
+                    if self.plane is not None:
+                        self.plane.record("retry-exhausted", self.src, dst)
+                    raise RetryBudgetExceeded(
+                        f"{self.src}->{dst} {payload[0]} failed after {attempt} attempts"
+                    )
+                self.retries += 1
+                if self.plane is not None:
+                    self.plane.record("retry", self.src, f"{dst}:{payload[0]}#{attempt}")
+                yield env.timeout(pol.backoff(attempt, self._rng))
 
     # -- routing ----------------------------------------------------------------
     def _shard_for(self, routing: bytes) -> str:
@@ -68,25 +122,24 @@ class KvClient:
     # -- point ops ----------------------------------------------------------------
     def get(self, key: bytes) -> Generator[Event, None, Optional[bytes]]:
         self.ops_issued += 1
-        resp = yield from self.fabric.rpc(
-            self.src, self.route(key), ("get", key), MSG_OVERHEAD + len(key)
+        resp = yield from self._call(
+            self.route(key), ("get", key), MSG_OVERHEAD + len(key)
         )
         return resp
 
     def put(self, key: bytes, value: bytes) -> Generator[Event, None, None]:
         self.ops_issued += 1
-        yield from self.fabric.rpc(
-            self.src,
-            self.route(key),
-            ("put", key, value),
-            MSG_OVERHEAD + len(key) + len(value),
+        token = self._token()
+        op = ("put", key, value) if token is None else ("put", key, value, token)
+        yield from self._call(
+            self.route(key), op, MSG_OVERHEAD + len(key) + len(value)
         )
 
     def delete(self, key: bytes) -> Generator[Event, None, None]:
         self.ops_issued += 1
-        yield from self.fabric.rpc(
-            self.src, self.route(key), ("delete", key), MSG_OVERHEAD + len(key)
-        )
+        token = self._token()
+        op = ("delete", key) if token is None else ("delete", key, token)
+        yield from self._call(self.route(key), op, MSG_OVERHEAD + len(key))
 
     def cas(
         self, key: bytes, expected: Optional[bytes], new: Optional[bytes]
@@ -94,9 +147,13 @@ class KvClient:
         """Atomic compare-and-set; ``expected=None`` means create-if-absent."""
         self.ops_issued += 1
         size = MSG_OVERHEAD + len(key) + (len(new) if new else 0)
-        ok = yield from self.fabric.rpc(
-            self.src, self.route(key), ("cas", key, expected, new), size
+        token = self._token()
+        op = (
+            ("cas", key, expected, new)
+            if token is None
+            else ("cas", key, expected, new, token)
         )
+        ok = yield from self._call(self.route(key), op, size)
         return ok
 
     # -- scans ---------------------------------------------------------------------
@@ -106,8 +163,7 @@ class KvClient:
         self.ops_issued += 1
         routing = self.scan_route_fn(prefix)
         if routing is not None:
-            items = yield from self.fabric.rpc(
-                self.src,
+            items = yield from self._call(
                 self._shard_for(routing),
                 ("scan", prefix, limit),
                 MSG_OVERHEAD + len(prefix),
@@ -116,8 +172,8 @@ class KvClient:
         # Unroutable prefix: fan out and merge.
         merged: list[tuple[bytes, bytes]] = []
         for shard in self.shards:
-            items = yield from self.fabric.rpc(
-                self.src, shard, ("scan", prefix, limit), MSG_OVERHEAD + len(prefix)
+            items = yield from self._call(
+                shard, ("scan", prefix, limit), MSG_OVERHEAD + len(prefix)
             )
             merged.extend(items)
         merged.sort()
@@ -148,9 +204,14 @@ class KvClient:
             size = MSG_OVERHEAD + sum(
                 len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
             )
-            yield from self.fabric.rpc(self.src, shard, ("batch", shard_ops), size)
+            token = self._token()
+            op = ("batch", shard_ops) if token is None else ("batch", shard_ops, token)
+            yield from self._call(shard, op, size)
             return
-        # Two-phase commit.
+        # Two-phase commit.  The txid doubles as the idempotency handle: a
+        # retried prepare for an already-staged txid acks instead of
+        # conflicting with its own locks, and commit/abort are natural no-ops
+        # the second time.
         self._txseq += 1
         txid = f"{self.src}:{self._txseq}"
         prepared: list[str] = []
@@ -159,9 +220,7 @@ class KvClient:
             size = MSG_OVERHEAD + sum(
                 len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
             )
-            ok = yield from self.fabric.rpc(
-                self.src, shard, ("prepare", txid, shard_ops), size
-            )
+            ok = yield from self._call(shard, ("prepare", txid, shard_ops), size)
             if ok:
                 prepared.append(shard)
             else:
@@ -169,9 +228,10 @@ class KvClient:
                 break
         if not ok_all:
             for shard in prepared:
-                yield from self.fabric.rpc(
-                    self.src, shard, ("abort", txid), MSG_OVERHEAD
-                )
+                try:
+                    yield from self._call(shard, ("abort", txid), MSG_OVERHEAD)
+                except RetryBudgetExceeded:
+                    pass  # participant unreachable; its locks die with it
             raise KvTransactionError(f"2PC prepare failed for {txid}")
         for shard in by_shard:
-            yield from self.fabric.rpc(self.src, shard, ("commit", txid), MSG_OVERHEAD)
+            yield from self._call(shard, ("commit", txid), MSG_OVERHEAD)

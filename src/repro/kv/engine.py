@@ -9,7 +9,11 @@ puts for big files — are honoured by actual data-structure behaviour:
 * a sorted **memtable** absorbing writes,
 * immutable **sorted runs** flushed from it (binary-searched, Bloom-guarded),
 * tiered **compaction** merging runs and dropping tombstones,
-* a **merge iterator** giving newest-wins ordered scans across all levels.
+* a **merge iterator** giving newest-wins ordered scans across all levels,
+* a **write-ahead log** covering the memtable, so a crash loses no
+  acknowledged write: :meth:`crash_recover` drops the (volatile) memtable
+  and replays the log, exactly the durability contract a real LSM node
+  gives its clients.
 
 Keys and values are ``bytes``.  Deletes write tombstones, as in any LSM.
 """
@@ -105,6 +109,10 @@ class LsmEngine:
         self.max_runs = max_runs
         #: newest first
         self.runs: list[SortedRun] = []
+        #: write-ahead log of un-flushed mutations (value None = tombstone).
+        #: Runs are durable; the WAL covers exactly the memtable and is
+        #: truncated when a flush persists it.
+        self.wal: list[tuple[bytes, Optional[bytes]]] = []
         self.stats = EngineStats()
 
     # -- point ops ----------------------------------------------------------------
@@ -112,6 +120,7 @@ class LsmEngine:
         if not isinstance(key, bytes) or not isinstance(value, bytes):
             raise TypeError("keys and values must be bytes")
         self.stats.puts += 1
+        self.wal.append((key, value))
         old = self.memtable.get(key)
         self.memtable[key] = value
         self._mem_bytes += len(key) + len(value) - (len(old) if old else 0)
@@ -133,6 +142,7 @@ class LsmEngine:
 
     def delete(self, key: bytes) -> None:
         self.stats.deletes += 1
+        self.wal.append((key, _TOMBSTONE))
         self.memtable[key] = _TOMBSTONE
         self._mem_bytes += len(key)
         if self._mem_bytes >= self.memtable_limit:
@@ -195,6 +205,7 @@ class LsmEngine:
         self.stats.bytes_flushed += run.size_bytes()
         self.memtable = {}
         self._mem_bytes = 0
+        self.wal.clear()  # the run is durable; the log no longer covers anything
         if len(self.runs) > self.max_runs:
             self.compact()
 
@@ -212,6 +223,23 @@ class LsmEngine:
         self.stats.compactions += 1
         self.stats.bytes_compacted += new_run.size_bytes()
         self.runs = [new_run] if live else []
+
+    def crash_recover(self) -> int:
+        """Simulate a crash: lose the memtable, replay the WAL into a new one.
+
+        Sorted runs survive (they are on durable media); every acknowledged
+        but un-flushed mutation is recovered from the log.  Returns the
+        number of records replayed so callers can charge replay time on the
+        simulated clock.
+        """
+        replayed = len(self.wal)
+        self.memtable = {}
+        for key, value in self.wal:
+            self.memtable[key] = value
+        self._mem_bytes = sum(
+            len(k) + (len(v) if v is not None else 0) for k, v in self.memtable.items()
+        )
+        return replayed
 
     # -- introspection --------------------------------------------------------------------
     def approximate_bytes(self) -> int:

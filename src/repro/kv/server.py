@@ -17,12 +17,25 @@ Supported operations (request payload tuples):
 ``("prepare", txid, [ops...])``        -> bool  (2PC phase 1: lock + stage)
 ``("commit", txid)``                   -> "ok"
 ``("abort", txid)``                    -> "ok"
+
+Mutating ops (``put``/``delete``/``cas``/``batch``) may carry a trailing
+*idempotency token*: the server memoises the response per token, so a
+retried or fabric-duplicated mutation applies exactly once.  ``prepare`` is
+naturally idempotent on its txid (a re-sent prepare for an already-staged
+transaction acks instead of deadlocking on its own locks); ``commit`` and
+``abort`` already pop-with-default.
+
+A shard can :meth:`~KvShardServer.crash`: requests (and replies in flight)
+vanish, the memtable is lost, staged 2PC state evaporates.
+:meth:`~KvShardServer.restart` replays the engine WAL at a per-record cost
+on the simulated clock before serving resumes.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..fault.idempotency import PENDING, IdempotencyFilter
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric, Message, RpcEndpoint
@@ -33,6 +46,17 @@ __all__ = ["KvShardServer", "KvCluster"]
 
 #: fixed per-message header bytes on the wire
 MSG_OVERHEAD = 64
+
+#: base tuple arity of ops that may carry a trailing idempotency token
+_BASE_ARITY = {"put": 3, "delete": 2, "cas": 4, "batch": 2}
+
+
+def _split_token(op: tuple) -> tuple[tuple, Optional[str]]:
+    """Split ``op`` into (bare op, idempotency token or None)."""
+    base = _BASE_ARITY.get(op[0])
+    if base is not None and len(op) > base:
+        return op[:base], op[base]
+    return op, None
 
 
 class KvShardServer:
@@ -62,8 +86,39 @@ class KvShardServer:
         # 2PC state: txid -> (ops, locked keys)
         self._staged: dict[str, list[tuple]] = {}
         self._locks: set[bytes] = set()
+        self._idem = IdempotencyFilter()
+        self.failed = False
+        self.crashes = 0
         self.ops_served = 0
         env.process(self._serve(), name=f"{name}-server")
+
+    # -- fault hooks ----------------------------------------------------------
+    def crash(self) -> None:
+        """Go down hard: requests vanish, volatile state is lost.
+
+        The memtable stays as-is until :meth:`restart` replays the WAL over
+        it — nothing reads the engine while ``failed`` is set.  Staged 2PC
+        transactions and their locks are volatile and evaporate (clients
+        re-prepare on retry).
+        """
+        self.failed = True
+        self.crashes += 1
+        self._staged.clear()
+        self._locks.clear()
+
+    #: :class:`~repro.fault.FaultPlane` scripts call ``fail()`` when no
+    #: reply-with-error hook exists; for a KV shard that is the same outage.
+    fail = crash
+
+    def restart(self) -> Generator[Event, None, int]:
+        """Come back up: WAL replay at a per-record simulated cost."""
+        replayed = self.engine.crash_recover()
+        if replayed:
+            yield self.env.timeout(replayed * self.params.kv_wal_replay_per_entry)
+        self.failed = False
+        return replayed
+
+    recover = restart
 
     # -- main loop -----------------------------------------------------------
     def _serve(self) -> Generator[Event, None, None]:
@@ -74,12 +129,31 @@ class KvShardServer:
             self.env.process(self._handle(msg), name=f"{self.name}-req")
 
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
+        if self.failed:
+            return  # crashed: the request vanishes; only a timeout saves the caller
         req = self.threads.request()
         yield req
         try:
-            resp, resp_size = yield from self._execute(msg.payload)
+            op, token = _split_token(msg.payload)
+            seen, cached = self._idem.check(token)
+            while seen and cached is PENDING:
+                # A same-token execution is in flight (fabric duplicate):
+                # park until its response is memoised, then replay it.
+                yield self.env.timeout(self.params.kv_meta_get_service)
+                seen, cached = self._idem.check(token)
+            if seen:
+                # Duplicate / retried mutation: replay the memoised response
+                # at lookup cost instead of re-applying.
+                yield self.env.timeout(self.params.kv_meta_get_service)
+                resp, resp_size = cached
+            else:
+                self._idem.put(token, PENDING)
+                resp, resp_size = yield from self._execute(op)
+                self._idem.put(token, (resp, resp_size))
         finally:
             self.threads.release(req)
+        if self.failed:
+            return  # crashed mid-service: the reply is lost with the node
         self.ops_served += 1
         yield from self.fabric.reply(msg, resp, resp_size)
 
@@ -140,6 +214,8 @@ class KvShardServer:
         if kind == "prepare":
             _, txid, ops = op
             yield self.env.timeout(p.kv_put_service)
+            if txid in self._staged:
+                return True, MSG_OVERHEAD  # retried prepare: already staged, ack
             keys = [sub[1] for sub in ops]
             if any(k in self._locks for k in keys):
                 return False, MSG_OVERHEAD

@@ -222,6 +222,9 @@ class Ext4Fs:
     def _read_direct(
         self, inode: DiskInode, first: int, count: int
     ) -> Generator[Event, None, bytearray]:
+        # Direct reads must observe buffered writes still sitting dirty in
+        # the page cache: write the range back first (kernel behaviour).
+        yield from self.cache.flush_range(inode.ino, first, count)
         max_bio = self.params.ext4_max_bio // BLOCK
         out = bytearray()
         runs = self._runs_for(inode, first, count)
@@ -330,12 +333,20 @@ class Ext4Fs:
     ) -> Generator[Event, None, None]:
         first = offset // BLOCK
         last = (offset + len(data) - 1) // BLOCK
+        # O_DIRECT coherence, as the kernel does it: write back any dirty
+        # cached pages of the range (so the RMW edges read current data),
+        # then drop them so later buffered reads refetch from the device.
+        yield from self.cache.flush_range(inode.ino, first, last - first + 1)
+        for lb in range(first, last + 1):
+            self.cache.invalidate_page(inode.ino, lb)
         # Read-modify-write unaligned edges.
         head_pad = offset - first * BLOCK
         tail_end = (last + 1) * BLOCK
         tail_pad = tail_end - (offset + len(data))
         buf = bytearray(head_pad + len(data) + tail_pad)
-        if head_pad:
+        if head_pad or (tail_pad and last == first):
+            # The first block needs RMW when the write is head-unaligned, or
+            # when it is a single tail-padded block (even if head-aligned).
             db = inode.map_block(first)
             old = yield from self.device.read_blocks(db, 1)
             buf[:BLOCK] = old

@@ -86,6 +86,22 @@ class PageCache:
     def invalidate_page(self, ino: int, lpn: int) -> None:
         self._pages.pop((ino, lpn), None)
 
+    def flush_range(self, ino: int, first_lpn: int, count: int) -> Generator[Event, None, int]:
+        """Write back dirty pages in ``[first_lpn, first_lpn + count)``.
+
+        The O_DIRECT coherence primitive: direct I/O must observe buffered
+        writes that still live only in the cache.
+        """
+        n = 0
+        for lpn in range(first_lpn, first_lpn + count):
+            ent = self._pages.get((ino, lpn))
+            if ent is not None and ent[1]:
+                yield from self.writeback(ino, lpn, ent[0])
+                ent[1] = False
+                self.flushed += 1
+                n += 1
+        return n
+
     # -- flushing --------------------------------------------------------------
     def flush_file(self, ino: int) -> Generator[Event, None, int]:
         """fsync: synchronously write back a file's dirty pages."""

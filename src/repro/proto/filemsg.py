@@ -48,6 +48,8 @@ class Errno(IntEnum):
     OK = 0
     ENOENT = 2
     EIO = 5
+    #: transient device error: the command did not execute; retry it
+    EAGAIN = 11
     EEXIST = 17
     ENOTDIR = 20
     EISDIR = 21

@@ -76,6 +76,8 @@ class NvmeFsInitiator:
         self.queues = [
             NvmeQueuePair(env, arena, qid, params.nvme_queue_depth) for qid in range(n)
         ]
+        #: commands re-issued after a transient (EAGAIN) completion
+        self.transient_retries = 0
         for qp in self.queues:
             env.process(self._completion_handler(qp), name=f"nvme-ini-cq{qp.qid}")
 
@@ -174,7 +176,30 @@ class NvmeFsInitiator:
         req_type: int = ReqType.STANDALONE,
         submitter_id: int = 0,
     ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
-        """Issue one file operation; returns (response, read payload)."""
+        """Issue one file operation; returns (response, read payload).
+
+        Transient device errors (:data:`Errno.EAGAIN` completions) are
+        retried with a linear backoff up to ``nvme_retry_max`` attempts, as
+        a real host NVMe driver requeues commands the controller nacked.
+        """
+        attempts = max(1, self.params.nvme_retry_max)
+        for attempt in range(1, attempts + 1):
+            result = yield from self._submit_once(
+                request, write_payload, read_len, req_type, submitter_id
+            )
+            if result[0].status != Errno.EAGAIN or attempt >= attempts:
+                return result
+            self.transient_retries += 1
+            yield self.env.timeout(self.params.nvme_retry_backoff * attempt)
+
+    def _submit_once(
+        self,
+        request: FileRequest,
+        write_payload: bytes,
+        read_len: int,
+        req_type: int,
+        submitter_id: int,
+    ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
         qp = self.queue_for(submitter_id)
         slot = qp.slots.request()
         yield slot
@@ -236,6 +261,12 @@ class NvmeFsInitiator:
                     self._free(pend)
                 for slot in slots:
                     qp.slots.release(slot)
+        # Re-issue any command the device nacked transiently; each re-issue
+        # runs through :meth:`submit` and gets the standard retry budget.
+        for i in range(len(results)):
+            if results[i][0].status == Errno.EAGAIN:
+                req, wp, rl = batch[i]
+                results[i] = yield from self.submit(req, wp, rl, req_type, submitter_id)
         return results
 
     # -- completion path ----------------------------------------------------------

@@ -78,6 +78,10 @@ class NvmeFsTarget:
         self.queues = queues
         self.backend = backend
         self.commands_processed = 0
+        #: optional :class:`~repro.fault.FaultPlane`: transient device errors
+        #: surface as CQE status codes before the backend executes
+        self.fault_plane = None
+        self.transient_errors = 0
         self._cq = {qp.qid: _CqState() for qp in queues}
         for qp in queues:
             env.process(self._worker(qp), name=f"nvme-tgt-q{qp.qid}")
@@ -123,6 +127,23 @@ class NvmeFsTarget:
         p = self.params
         # DPU CPU: parse + dispatch decision (IO_Dispatch reads DW0 bit 10).
         yield from self.dpu_cpu.execute(p.dpu_dispatch_cost, tag="nvme-tgt")
+        if self.fault_plane is not None:
+            status = self.fault_plane.nvme_error(qp.qid)
+            if status is not None:
+                # Transient device error: the command never reaches the
+                # backend; the CQE carries the failure status and the
+                # initiator is expected to retry.
+                self.transient_errors += 1
+                cqe = Cqe(
+                    cid=sqe.cid,
+                    status=int(status),
+                    result=0,
+                    sq_head=qp.dpu_sq_head & 0xFFFF,
+                    sq_id=qp.qid,
+                )
+                self.commands_processed += 1
+                yield from self._complete(qp, cqe)
+                return
         # ② read the write header (the FileRequest).
         hdr = yield from self.link.dma_read(sqe.prp_write1, sqe.wh_len, tag="cmd-header")
         request = FileRequest.unpack(hdr)

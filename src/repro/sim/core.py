@@ -21,7 +21,9 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -325,11 +327,29 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation world: clock, event queue, and process registry."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, seed: int = 42):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: master seed: every stochastic element of a testbed derives its
+        #: randomness from here (via :attr:`rng` or :meth:`substream`), so a
+        #: whole run — workload *and* fault schedule — replays bit-identically
+        #: from this one integer.
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def substream(self, name: str) -> random.Random:
+        """A named, independent RNG derived from the master seed.
+
+        Streams are keyed by ``(seed, name)`` through blake2b (``hash()``
+        is salted per interpreter run and would break reproducibility), so
+        adding a consumer never perturbs the draws of existing ones.
+        """
+        digest = hashlib.blake2b(
+            f"{self.seed}:{name}".encode(), digest_size=8
+        ).digest()
+        return random.Random(int.from_bytes(digest, "big"))
 
     # -- clock ----------------------------------------------------------------
     @property

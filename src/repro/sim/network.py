@@ -59,6 +59,11 @@ class Fabric:
         self.latency = latency
         self.default_bandwidth = default_bandwidth
         self.endpoints: dict[str, RpcEndpoint] = {}
+        #: optional :class:`~repro.fault.FaultPlane` consulted per message
+        #: for loss / delay / duplication (None = fail-free fabric)
+        self.fault_plane = None
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
 
     def attach(self, name: str, bandwidth: Optional[float] = None) -> RpcEndpoint:
         if name in self.endpoints:
@@ -78,13 +83,30 @@ class Fabric:
         sep = self.endpoints[src]
         dep = self.endpoints[dst]
         sep.messages_out += 1
+        action, extra = (
+            ("ok", 0.0)
+            if self.fault_plane is None
+            else self.fault_plane.channel_action(src, dst)
+        )
         # Serialise onto the sender's egress pipe, cross the fabric, then the
         # receiver's ingress pipe.
         yield sep.tx.transfer(size)
-        yield self.env.timeout(self.latency)
+        if action == "drop":
+            # Lost on the wire: the sender has paid serialisation, nothing
+            # arrives.  Only a timeout can save the caller now.
+            self.messages_dropped += 1
+            return
+        yield self.env.timeout(self.latency + extra)
         yield dep.rx.transfer(size)
         dep.messages_in += 1
         yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
+        if action == "dup":
+            # Fabric-level duplication: a second copy lands after paying the
+            # ingress pipe again.
+            self.messages_duplicated += 1
+            yield dep.rx.transfer(size)
+            dep.messages_in += 1
+            yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
 
     # -- request/response -----------------------------------------------------
     def rpc(
@@ -117,9 +139,20 @@ class Fabric:
         sep = self.endpoints[msg.dst]
         rep = self.endpoints.get(msg.src)
         sep.messages_out += 1
+        action, extra = (
+            ("ok", 0.0)
+            if self.fault_plane is None
+            else self.fault_plane.channel_action(msg.dst, msg.src)
+        )
         yield sep.tx.transfer(size)
-        yield self.env.timeout(self.latency)
+        if action == "drop":
+            self.messages_dropped += 1
+            return
+        yield self.env.timeout(self.latency + extra)
         if rep is not None:
             yield rep.rx.transfer(size)
             rep.messages_in += 1
         yield msg.reply_to.put(payload)
+        if action == "dup":
+            self.messages_duplicated += 1
+            yield msg.reply_to.put(payload)

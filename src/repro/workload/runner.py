@@ -37,7 +37,10 @@ class JobSpec:
     ops_per_thread: int = 50
     file_size: int = 64 * 1024 * 1024
     read_fraction: float = 0.7  # for randrw (the paper's 70/30 mix)
-    seed: int = 42
+    #: per-job RNG seed; ``None`` derives the per-thread streams from the
+    #: simulation environment's single root seed (``params.seed``), making
+    #: the whole run — offsets included — reproducible from one number
+    seed: Optional[int] = 42
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -97,9 +100,12 @@ class ClientTarget:
         return (yield from self.client.write(self.ino, offset, data))
 
 
-def _offsets(spec: JobSpec, tid: int) -> Generator[tuple[int, bool], None, None]:
+def _offsets(
+    spec: JobSpec, tid: int, rng: Optional[random.Random] = None
+) -> Generator[tuple[int, bool], None, None]:
     """Yield (offset, is_read) per op, deterministic per thread."""
-    rng = random.Random((spec.seed << 16) ^ tid)
+    if rng is None:
+        rng = random.Random(((spec.seed or 0) << 16) ^ tid)
     nblocks = max(1, spec.file_size // spec.block_size)
     if spec.mode.startswith("seq"):
         # Each thread streams its own region.
@@ -143,7 +149,10 @@ def run_job(
             target = yield from made
         else:
             target = made
-        for off, is_read in _offsets(spec, tid):
+        # seed=None: derive this thread's stream from the environment's
+        # root seed, so one number reproduces the entire run bit-exactly.
+        rng = env.substream(f"job:{spec.name}:t{tid}") if spec.seed is None else None
+        for off, is_read in _offsets(spec, tid, rng):
             t0 = env.now
             try:
                 if is_read:

@@ -109,6 +109,53 @@ def test_random_erasure_recovery_property(k, m, payload, seed):
     assert rs.decode_stripe(damaged, len(payload)) == payload
 
 
+# ------------------------------------------------- exhaustive (4, 2) coverage
+#: a payload that is distinct per byte position and not unit-aligned
+_PAYLOAD42 = bytes((i * 31 + 7) & 0xFF for i in range(101))
+
+
+@pytest.mark.parametrize(
+    "lost",
+    [()]
+    + [(i,) for i in range(6)]
+    + list(itertools.combinations(range(6), 2)),
+    ids=lambda lost: "none" if not lost else "x".join(map(str, lost)),
+)
+def test_every_erasure_pattern_decodes_bit_exact(lost):
+    """All C(6,0)+C(6,1)+C(6,2) erasure patterns at (4, 2) round-trip."""
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode_stripe(_PAYLOAD42)
+    damaged = [None if i in lost else shards[i] for i in range(6)]
+    assert rs.decode_stripe(damaged, len(_PAYLOAD42)) == _PAYLOAD42
+
+
+@pytest.mark.parametrize(
+    "survivors",
+    list(itertools.combinations(range(6), 4)),
+    ids=lambda s: "s" + "".join(map(str, s)),
+)
+def test_exactly_k_survivors_reconstruct(survivors):
+    """Any k=4 of the 6 shards suffice — including parity-only mixes."""
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode_stripe(_PAYLOAD42)
+    damaged = [shards[i] if i in survivors else None for i in range(6)]
+    assert rs.decode_stripe(damaged, len(_PAYLOAD42)) == _PAYLOAD42
+
+
+@pytest.mark.parametrize(
+    "survivors",
+    list(itertools.combinations(range(6), 3)),
+    ids=lambda s: "s" + "".join(map(str, s)),
+)
+def test_k_minus_one_survivors_fail_cleanly(survivors):
+    """Three survivors can never reconstruct: a clean, typed error."""
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode_stripe(_PAYLOAD42)
+    damaged = [shards[i] if i in survivors else None for i in range(6)]
+    with pytest.raises(ECError, match="unrecoverable"):
+        rs.decode_stripe(damaged, len(_PAYLOAD42))
+
+
 # ---------------------------------------------------------------- StripeLayout
 def test_layout_requires_enough_servers():
     rs = ReedSolomon(4, 2)

@@ -1,0 +1,105 @@
+"""Circuit breaker state machine, cache write-through degrade, NVMe retries."""
+
+from repro.core.testbeds import build_dpc_system
+from repro.fault import CircuitBreaker
+from repro.host.vfs import O_CREAT, O_DIRECT
+from repro.params import default_params
+from repro.proto.filemsg import Errno
+from repro.sim.core import Environment
+
+
+def test_breaker_state_machine():
+    env = Environment(seed=1)
+    br = CircuitBreaker(env, failure_threshold=3, reset_after=1e-3)
+    assert br.state == "closed" and br.allow()
+    br.record_failure()
+    br.record_failure()
+    assert br.state == "closed"  # below threshold
+    br.record_failure()
+    assert br.state == "open" and not br.allow()
+    assert br.trips == 1
+    # The open window expires on the simulated clock: half-open admits a probe.
+    env.run(until=env.timeout(2e-3))
+    assert br.state == "half-open" and br.allow()
+    br.record_failure()  # probe fails: straight back to open
+    assert br.state == "open" and br.trips == 2
+    env.run(until=env.timeout(2e-3))
+    assert br.state == "half-open"
+    br.record_success()  # probe succeeds: closed, failure count reset
+    assert br.state == "closed" and br.resets == 1
+    br.record_failure()
+    br.record_failure()
+    assert br.state == "closed"
+
+
+def test_open_breaker_degrades_cache_to_writethrough():
+    sys = build_dpc_system()
+    env, p = sys.env, sys.params
+
+    def scenario():
+        f = yield from sys.vfs.open("/kvfs/breakered", O_CREAT)
+        yield from sys.vfs.write(f, 0, b"x" * 4096)  # buffered: dirty page
+        for _ in range(p.breaker_failures):
+            sys.breaker.record_failure()
+        assert sys.breaker.state == "open"
+        # Flusher rounds while open: pages are skipped and stay dirty.
+        yield env.timeout(p.cache_flush_period * 3)
+        skipped = sys.cache_ctrl.writeback_skipped
+        dirty_while_open = sys.cache_ctrl.dirty_pages()
+        # New buffered writes bypass the cache (write-through) while open.
+        before = sys.kvfs_adapter.writethrough_ops
+        yield from sys.vfs.write(f, 8192, b"y" * 4096)
+        writethrough = sys.kvfs_adapter.writethrough_ops - before
+        # Past the reset window the flusher's next attempt is the half-open
+        # probe; the backend is healthy, so it closes the breaker and drains.
+        yield env.timeout(p.breaker_reset + p.cache_flush_period * 4)
+        return skipped, dirty_while_open, writethrough
+
+    skipped, dirty_while_open, writethrough = sys.run_until(scenario())
+    assert skipped > 0
+    assert dirty_while_open > 0
+    assert writethrough == 1
+    assert sys.breaker.state == "closed"
+    assert sys.breaker.resets == 1
+    assert sys.cache_ctrl.flushed_pages > 0
+    assert sys.cache_ctrl.dirty_pages() == 0
+
+
+def test_writethrough_data_remains_readable():
+    sys = build_dpc_system()
+
+    def scenario():
+        f = yield from sys.vfs.open("/kvfs/wt", O_CREAT)
+        for _ in range(sys.params.breaker_failures):
+            sys.breaker.record_failure()
+        yield from sys.vfs.write(f, 0, b"direct-path" * 100)
+        data = yield from sys.vfs.read(f, 0, 1100)
+        return data
+
+    data = sys.run_until(scenario())
+    assert data == b"direct-path" * 100
+
+
+def test_nvme_transient_errors_are_retried_to_success():
+    p = default_params()
+    sys = build_dpc_system(p, with_cache=False)
+    sys.fault_plane.set_nvme_error_rate(0.15, int(Errno.EAGAIN))
+    payload = bytes([7]) * 8192
+
+    def scenario():
+        f = yield from sys.vfs.open("/kvfs/flaky", O_CREAT | O_DIRECT)
+        for i in range(20):
+            yield from sys.vfs.write(f, i * 8192, payload)
+        out = []
+        for i in range(20):
+            out.append((yield from sys.vfs.read(f, i * 8192, 8192)))
+        return out
+
+    out = sys.run_until(scenario())
+    assert all(chunk == payload for chunk in out)
+    assert sys.tgt.transient_errors > 0
+    assert sys.ini.transient_retries > 0
+    # Target-side injections and the fault trace agree.
+    assert (
+        sys.fault_plane.counts().get("nvme-transient", 0) == sys.tgt.transient_errors
+    )
