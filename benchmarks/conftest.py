@@ -12,12 +12,39 @@ Run with::
 """
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
 
 #: machine-readable benchmark output lands here (CI uploads BENCH_*.json)
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: bump when the BENCH_*.json envelope shape changes
+SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _default_seed() -> int:
+    try:
+        from repro.params import default_params
+
+        return default_params().seed
+    except Exception:
+        return -1
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -36,7 +63,13 @@ def once(benchmark):
 class BenchRecorder:
     """Collects ``metric -> value`` pairs per group and writes them to
     ``results/BENCH_<group>.json`` (merged over existing content, so several
-    benchmark files/selections can contribute to one group)."""
+    benchmark files/selections can contribute to one group).
+
+    Files are enveloped as ``{"schema": 1, "seed": ..., "git_sha": ...,
+    "metrics": {...}}`` so a results directory is self-describing about
+    which commit and simulation seed produced it; pre-envelope flat files
+    are migrated on the next merge.
+    """
 
     def __init__(self) -> None:
         self._groups: dict[str, dict] = {}
@@ -48,6 +81,8 @@ class BenchRecorder:
         if not self._groups:
             return
         RESULTS_DIR.mkdir(exist_ok=True)
+        sha = _git_sha()
+        seed = _default_seed()
         for group, metrics in self._groups.items():
             path = RESULTS_DIR / f"BENCH_{group}.json"
             existing = {}
@@ -56,8 +91,19 @@ class BenchRecorder:
                     existing = json.loads(path.read_text())
                 except ValueError:
                     existing = {}
-            existing.update(metrics)
-            path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+            if isinstance(existing.get("metrics"), dict):
+                merged = existing["metrics"]
+            else:  # legacy flat file: everything in it was a metric
+                merged = {k: v for k, v in existing.items()
+                          if k not in ("schema", "seed", "git_sha")}
+            merged.update(metrics)
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "seed": seed,
+                "git_sha": sha,
+                "metrics": merged,
+            }
+            path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -84,6 +84,19 @@ def main() -> None:
         print("\n".join(t.render() for t in tables))
         print()
 
+    # Flight-recorder appendix: one small traced DFS run, reported through
+    # the observability stack (DESIGN.md §11).
+    from repro.obsv import disable_tracing
+    from repro.obsv.report import render_report, run_experiment
+
+    print("[flight recorder] tracing a small fig9 run ...", flush=True)
+    ctx = run_experiment("fig9", "rnd-wr", threads=2, ops=4)
+    obsv = render_report(ctx.systems, title="fig9 rnd-wr, 2 threads x 4 ops")
+    disable_tracing()
+    lines.append("## Flight recorder — where did the simulated time go")
+    lines.append(obsv)
+    print(obsv)
+
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text("\n".join(lines))

@@ -34,6 +34,7 @@ import struct
 import zlib
 from typing import Callable, Generator, Optional
 
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
@@ -95,6 +96,9 @@ class _Shard:
 
 class CacheControlPlane:
     """The offloaded cache manager (facade over N bucket-range shards)."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -341,6 +345,10 @@ class CacheControlPlane:
         parallel again — the batch pays round-trip latency O(rounds), not
         O(pages).
         """
+        with self.tracer.span("cache.flush", track="cache", parent=None, n=len(idxs)):
+            return (yield from self._flush_entries_impl(idxs))
+
+    def _flush_entries_impl(self, idxs: list[int]) -> Generator[Event, None, int]:
         lay = self.layout
         locked_flags = yield from self._parallel(
             [self._try_lock_read(idx) for idx in idxs]
@@ -579,34 +587,41 @@ class CacheControlPlane:
         slot = self._prefetch_slots.request()
         yield slot
         try:
-            lpns = list(range(first_lpn, first_lpn + npages))
-            idxs = yield from self._parallel(
-                [self._claim_pending(inode, lpn) for lpn in lpns]
-            )
-            claimed = {  # lpn -> entry index
-                lpn: idx for lpn, idx in zip(lpns, idxs) if idx is not None
-            }
-            if not claimed:
-                return  # everything already cached/pending or buckets full
-            got = yield from self._fetch_pages(inode, first_lpn, npages)
-            # DIF verification: a fetched page whose guard tag mismatches the
-            # one recorded at flush time is corrupt — refuse to install it.
-            for lpn in list(got):
-                if not self._dif_ok(inode, lpn, got[lpn]):
-                    del got[lpn]
-            installs = []
-            for lpn, idx in claimed.items():
-                data = got.get(lpn)
-                if data is not None:
-                    installs.append(self._install_one(inode, lpn, idx, data))
-                else:
-                    installs.append(self._release_pending(idx))
-            yield from self._parallel(installs)
+            with self.tracer.span("cache.prefetch", track="cache", parent=None,
+                                  lpn=first_lpn, n=npages):
+                yield from self._prefetch_chunk_impl(inode, first_lpn, npages)
         finally:
             # Sync-only cleanup (no yields: the simulation may be tearing
             # this process down via GeneratorExit).
             self._prefetch_slots.release(slot)
             self._prefetch_inflight.difference_update(pages)
+
+    def _prefetch_chunk_impl(
+        self, inode: int, first_lpn: int, npages: int
+    ) -> Generator[Event, None, None]:
+        lpns = list(range(first_lpn, first_lpn + npages))
+        idxs = yield from self._parallel(
+            [self._claim_pending(inode, lpn) for lpn in lpns]
+        )
+        claimed = {  # lpn -> entry index
+            lpn: idx for lpn, idx in zip(lpns, idxs) if idx is not None
+        }
+        if not claimed:
+            return  # everything already cached/pending or buckets full
+        got = yield from self._fetch_pages(inode, first_lpn, npages)
+        # DIF verification: a fetched page whose guard tag mismatches the
+        # one recorded at flush time is corrupt — refuse to install it.
+        for lpn in list(got):
+            if not self._dif_ok(inode, lpn, got[lpn]):
+                del got[lpn]
+        installs = []
+        for lpn, idx in claimed.items():
+            data = got.get(lpn)
+            if data is not None:
+                installs.append(self._install_one(inode, lpn, idx, data))
+            else:
+                installs.append(self._release_pending(idx))
+        yield from self._parallel(installs)
 
     def _install_one(
         self, inode: int, lpn: int, idx: int, data: bytes

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
@@ -79,6 +80,9 @@ class CacheStats:
 
 class HostCachePlane:
     """Front-end read/write paths executed by host threads."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -168,6 +172,14 @@ class HostCachePlane:
         self, inode: int, lpn: int, length: Optional[int] = None
     ) -> Generator[Event, None, Optional[bytes]]:
         """Return the cached page, or None on a miss (caller goes to DPU)."""
+        with self.tracer.span("cache.read", track="cache", lpn=lpn) as sp:
+            page = yield from self._read_impl(inode, lpn, length)
+            sp.set(hit=page is not None)
+            return page
+
+    def _read_impl(
+        self, inode: int, lpn: int, length: Optional[int] = None
+    ) -> Generator[Event, None, Optional[bytes]]:
         lay = self.layout
         yield from self.host_cpu.execute(_LOOKUP_COST, tag="cache-host")
         while True:
@@ -229,6 +241,10 @@ class HostCachePlane:
     # -- front-end write (paper §3.3 Data Consistency) ---------------------------
     def write(self, inode: int, lpn: int, data: bytes) -> Generator[Event, None, None]:
         """Buffered write: land the page in the cache and mark it dirty."""
+        with self.tracer.span("cache.write", track="cache", lpn=lpn):
+            return (yield from self._write_impl(inode, lpn, data))
+
+    def _write_impl(self, inode: int, lpn: int, data: bytes) -> Generator[Event, None, None]:
         lay = self.layout
         if len(data) > lay.page_size:
             raise ValueError("write exceeds cache page size")

@@ -34,6 +34,9 @@ from ..kv.server import KvCluster
 from ..kvfs import schema as kvfs_schema
 from ..kvfs.fs import Kvfs
 from ..localfs.ext4sim import Ext4Fs
+from ..obsv import get_context
+from ..obsv.metrics import Registry
+from ..obsv.tracer import Tracer
 from ..params import SystemParams, default_params
 from ..proto.nvme.ini import NvmeFsInitiator
 from ..proto.nvme.sqe import ReqType
@@ -68,6 +71,166 @@ def _dpu_cpu(env: Environment, p: SystemParams) -> CpuPool:
     )
 
 
+# -- observability wiring ---------------------------------------------------------
+#
+# Each builder creates one Registry and hangs *collectors* on it: zero-arg
+# closures that read the existing hot-path stats objects at snapshot time.
+# The hot paths keep their plain attribute increments — nothing about the
+# simulation changes — but every experiment reads through the registry.
+
+
+def _collect_cpu(pool: CpuPool):
+    def fn() -> dict:
+        out = {
+            f"cpu.{pool.name}.busy": pool.busy_seconds,
+            f"cpu.{pool.name}.cores": pool.cores,
+            f"cpu.{pool.name}.window_cores": pool.window_cores_used(),
+        }
+        for tag, busy in pool.busy_by_tag.items():
+            out[f"cpu.{pool.name}.busy.{tag}"] = busy
+        return out
+
+    return fn
+
+
+def _collect_pcie(link: PcieLink):
+    def fn() -> dict:
+        s = link.stats
+        out = {
+            "pcie.reads": s.reads,
+            "pcie.writes": s.writes,
+            "pcie.atomics": s.atomics,
+            "pcie.doorbells": s.doorbells,
+            "pcie.interrupts": s.interrupts,
+            "pcie.bytes_read": s.bytes_read,
+            "pcie.bytes_written": s.bytes_written,
+            "pcie.ops": s.ops(),
+            "pcie.control_tlps": s.control_tlps(),
+        }
+        for tag, n in s.by_tag.items():
+            out[f"pcie.by_tag.{tag}"] = n
+        for tag, (txns, entries) in s.burst_by_tag.items():
+            out[f"pcie.burst.{tag}.txns"] = txns
+            out[f"pcie.burst.{tag}.entries"] = entries
+        return out
+
+    return fn
+
+
+def _collect_cache(cache_host: HostCachePlane):
+    def fn() -> dict:
+        s = cache_host.stats
+        return {
+            "cache.read_hits": s.read_hits,
+            "cache.read_misses": s.read_misses,
+            "cache.write_hits": s.write_hits,
+            "cache.write_inserts": s.write_inserts,
+            "cache.evict_waits": s.evict_waits,
+            "cache.seqlock_hits": s.seqlock_hits,
+            "cache.seqlock_retries": s.seqlock_retries,
+            "cache.seqlock_fallbacks": s.seqlock_fallbacks,
+            "cache.read_atomics": s.read_atomics,
+            "cache.hit_rate": s.hit_rate(),
+            "cache.atomics_per_hit": s.atomics_per_hit(),
+        }
+
+    return fn
+
+
+def _collect_kv(cluster: KvCluster, client: KvClient):
+    def fn() -> dict:
+        out = {
+            "kv.client.ops_issued": client.ops_issued,
+            "kv.client.retries": client.retries,
+            "kv.client.timeouts_exhausted": client.timeouts_exhausted,
+        }
+        for key in (
+            "puts",
+            "gets",
+            "deletes",
+            "scans",
+            "flushes",
+            "compactions",
+            "bytes_flushed",
+            "bytes_compacted",
+        ):
+            out[f"kv.engine.{key}"] = sum(
+                getattr(sh.engine.stats, key) for sh in cluster.shards
+            )
+        return out
+
+    return fn
+
+
+def _collect_nvme(ini: NvmeFsInitiator, tgt: NvmeFsTarget):
+    def fn() -> dict:
+        return {
+            "nvme.transient_retries": ini.transient_retries,
+            "nvme.commands_processed": tgt.commands_processed,
+        }
+
+    return fn
+
+
+def _collect_dispatch(dispatch: IoDispatch):
+    def fn() -> dict:
+        return {
+            "dispatch.standalone_ops": dispatch.standalone_ops,
+            "dispatch.distributed_ops": dispatch.distributed_ops,
+        }
+
+    return fn
+
+
+def _collect_dfs(prefix: str, client):
+    stripeio = getattr(client, "stripeio", None)
+
+    def fn() -> dict:
+        out = {
+            f"{prefix}.ops": client.ops,
+            f"{prefix}.retries": client.retries,
+            f"{prefix}.timeouts_exhausted": client.timeouts_exhausted,
+        }
+        if hasattr(client, "deleg_hits"):
+            out[f"{prefix}.deleg_hits"] = client.deleg_hits
+        if stripeio is not None:
+            out[f"{prefix}.stripe.units_read"] = stripeio.units_read
+            out[f"{prefix}.stripe.units_written"] = stripeio.units_written
+            out[f"{prefix}.stripe.retries"] = stripeio.retries
+            out[f"{prefix}.stripe.degraded_stripes"] = stripeio.degraded_stripes
+            out[f"{prefix}.stripe.rebuilt_units"] = stripeio.rebuilt_units
+        return out
+
+    return fn
+
+
+def _collect_fault(plane: FaultPlane):
+    def fn() -> dict:
+        out = {"fault.events": len(plane.trace)}
+        for kind, n in plane.counts().items():
+            out[f"fault.kind.{kind}"] = n
+        return out
+
+    return fn
+
+
+def _attach_tracer(env: Environment, trace: Optional[bool], components) -> Optional[Tracer]:
+    """Give every instrumented component a live tracer when tracing is on.
+
+    ``trace=None`` defers to the process-wide context (``REPRO_TRACE=1`` or
+    :func:`repro.obsv.enable_tracing`); the default off path leaves the
+    class-level ``NULL_TRACER`` in place everywhere.
+    """
+    enabled = get_context().enabled if trace is None else trace
+    if not enabled:
+        return None
+    tracer = Tracer(env)
+    for c in components:
+        if c is not None:
+            c.tracer = tracer
+    return tracer
+
+
 @dataclass
 class DpcSystem:
     """A fully wired DPC deployment."""
@@ -95,6 +258,8 @@ class DpcSystem:
     dfs_adapter: Optional[DpcAdapter] = None
     fault_plane: Optional[FaultPlane] = None
     breaker: Optional[CircuitBreaker] = None
+    registry: Optional[Registry] = None
+    tracer: Optional[Tracer] = None
 
     def run_until(self, gen):
         """Drive one simulation process to completion; return its value."""
@@ -107,6 +272,7 @@ def build_dpc_system(
     with_cache: bool = True,
     prefetch: bool = True,
     num_queues: Optional[int] = None,
+    trace: Optional[bool] = None,
 ) -> DpcSystem:
     """Assemble the full DPC system of paper Figure 3.
 
@@ -205,6 +371,37 @@ def build_dpc_system(
             breaker=breaker,
         )
         vfs.mount("/dfs", dfs_adapter)
+    registry = Registry("dpc")
+    registry.collect(_collect_cpu(host_cpu))
+    registry.collect(_collect_cpu(dpu_cpu))
+    registry.collect(_collect_pcie(link))
+    registry.collect(_collect_kv(kv_cluster, kv_client))
+    registry.collect(_collect_nvme(ini, tgt))
+    registry.collect(_collect_dispatch(dispatch))
+    registry.collect(_collect_fault(plane))
+    if cache_host is not None:
+        registry.collect(_collect_cache(cache_host))
+    if dfs_client is not None:
+        registry.collect(_collect_dfs("dfs", dfs_client))
+    tracer = _attach_tracer(
+        env,
+        trace,
+        [
+            link,
+            plane,
+            ini,
+            tgt,
+            dispatch,
+            cache_host,
+            cache_ctrl,
+            kv_client,
+            kvfs_adapter,
+            dfs_adapter,
+            dfs_client,
+            getattr(dfs_client, "stripeio", None),
+        ],
+    )
+    get_context().register("dpc", tracer, registry)
     return DpcSystem(
         env=env,
         params=p,
@@ -229,6 +426,8 @@ def build_dpc_system(
         dfs_adapter=dfs_adapter,
         fault_plane=plane,
         breaker=breaker,
+        registry=registry,
+        tracer=tracer,
     )
 
 
@@ -243,6 +442,8 @@ class Ext4System:
     fs: Ext4Fs
     vfs: Vfs
     adapter: Ext4Adapter
+    registry: Optional[Registry] = None
+    tracer: Optional[Tracer] = None
 
     def run_until(self, gen):
         return self.env.run(until=self.env.process(gen))
@@ -252,6 +453,7 @@ def build_ext4_system(
     params: Optional[SystemParams] = None,
     cache_pages: int = 16384,
     capacity_blocks: int = 1 << 22,
+    trace: Optional[bool] = None,
 ) -> Ext4System:
     p = params or default_params()
     env = Environment(seed=p.seed)
@@ -269,7 +471,16 @@ def build_ext4_system(
     vfs = Vfs(env, host_cpu, p)
     adapter = Ext4Adapter(fs)
     vfs.mount("/mnt", adapter)
-    return Ext4System(env, p, host_cpu, ssd, fs, vfs, adapter)
+    registry = Registry("ext4")
+    registry.collect(_collect_cpu(host_cpu))
+
+    def _ssd() -> dict:
+        return {"ssd.reads": ssd.reads, "ssd.writes": ssd.writes}
+
+    registry.collect(_ssd)
+    tracer = _attach_tracer(env, trace, [])
+    get_context().register("ext4", tracer, registry)
+    return Ext4System(env, p, host_cpu, ssd, fs, vfs, adapter, registry, tracer)
 
 
 @dataclass
@@ -284,6 +495,8 @@ class RawTransport:
     virtual: VirtualClient
     adapter: object  # DpcAdapter or DpfsAdapter (no cache)
     kind: str
+    registry: Optional[Registry] = None
+    tracer: Optional[Tracer] = None
 
     def run_until(self, gen):
         return self.env.run(until=self.env.process(gen))
@@ -293,6 +506,7 @@ def build_raw_transport(
     kind: str = "nvme-fs",
     params: Optional[SystemParams] = None,
     num_queues: Optional[int] = None,
+    trace: Optional[bool] = None,
 ) -> RawTransport:
     """The §4.1 rig: transport + virtual client, nothing else."""
     p = params or default_params()
@@ -304,17 +518,28 @@ def build_raw_transport(
         env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth, engines=p.pcie_engines
     )
     virtual = VirtualClient(env, dpu_cpu, p)
+    registry = Registry(kind)
+    registry.collect(_collect_cpu(host_cpu))
+    registry.collect(_collect_cpu(dpu_cpu))
+    registry.collect(_collect_pcie(link))
     if kind == "nvme-fs":
         ini = NvmeFsInitiator(env, arena, link, host_cpu, p, num_queues=num_queues)
-        NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, virtual.backend)
+        tgt = NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, virtual.backend)
         adapter = DpcAdapter(env, ini, host_cpu, p, cache=None)
+        registry.collect(_collect_nvme(ini, tgt))
+        traced = [link, ini, tgt, adapter]
     elif kind == "virtio-fs":
         virtio = VirtioFsHost(env, arena, link, host_cpu, p, num_queues=num_queues)
-        DpfsHal(env, link, dpu_cpu, p, virtio.rings, virtual.backend)
+        hal = DpfsHal(env, link, dpu_cpu, p, virtio.rings, virtual.backend)
         adapter = DpfsAdapter(env, virtio, host_cpu, p)
+        traced = [link, virtio, hal, adapter]
     else:
         raise ValueError(f"unknown transport kind {kind!r}")
-    return RawTransport(env, p, host_cpu, dpu_cpu, link, virtual, adapter, kind)
+    tracer = _attach_tracer(env, trace, traced)
+    get_context().register(kind, tracer, registry)
+    return RawTransport(
+        env, p, host_cpu, dpu_cpu, link, virtual, adapter, kind, registry, tracer
+    )
 
 
 @dataclass
@@ -331,13 +556,17 @@ class HostDfsTestbed:
     std_client: StandardNfsClient
     opt_client: OffloadedDfsClient
     fault_plane: Optional[FaultPlane] = None
+    registry: Optional[Registry] = None
+    tracer: Optional[Tracer] = None
 
     def run_until(self, gen):
         return self.env.run(until=self.env.process(gen))
 
 
 def build_host_dfs_clients(
-    params: Optional[SystemParams] = None, degraded_reads: bool = True
+    params: Optional[SystemParams] = None,
+    degraded_reads: bool = True,
+    trace: Optional[bool] = None,
 ) -> HostDfsTestbed:
     p = params or default_params()
     env = Environment(seed=p.seed)
@@ -366,6 +595,26 @@ def build_host_dfs_clients(
         plane=plane,
         degraded_reads=degraded_reads,
     )
+    registry = Registry("host-dfs")
+    registry.collect(_collect_cpu(host_cpu))
+    registry.collect(_collect_fault(plane))
+    registry.collect(_collect_dfs("dfs.std", std))
+    registry.collect(_collect_dfs("dfs.opt", opt))
+    tracer = _attach_tracer(
+        env, trace, [plane, std, opt, getattr(opt, "stripeio", None)]
+    )
+    get_context().register("host-dfs", tracer, registry)
     return HostDfsTestbed(
-        env, p, host_cpu, fabric, mds, dataservers, layout, std, opt, fault_plane=plane
+        env,
+        p,
+        host_cpu,
+        fabric,
+        mds,
+        dataservers,
+        layout,
+        std,
+        opt,
+        fault_plane=plane,
+        registry=registry,
+        tracer=tracer,
     )

@@ -29,6 +29,7 @@ from ..fault.retry import (
     RpcTimeout,
     call_with_timeout,
 )
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..proto.filemsg import Errno, FileAttr
 from ..sim.core import Environment, Event
@@ -69,6 +70,9 @@ class _FailureAwareRpc:
     across retries, so the home MDS applies them exactly once.
     """
 
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
+
     def _init_fault(self, retry: Optional[RetryPolicy], plane) -> None:
         self.retry = retry
         self.plane = plane
@@ -79,6 +83,12 @@ class _FailureAwareRpc:
 
     def _mds_call(
         self, dst: str, op: tuple, size: int, mutating: bool = False
+    ) -> Generator[Event, None, object]:
+        with self.tracer.span("mds.rpc", track="net", dst=dst, op=str(op[0])):
+            return (yield from self._mds_call_impl(dst, op, size, mutating))
+
+    def _mds_call_impl(
+        self, dst: str, op: tuple, size: int, mutating: bool
     ) -> Generator[Event, None, object]:
         payload = op
         pol = self.retry
@@ -186,6 +196,10 @@ class StandardNfsClient(_FailureAwareRpc):
     # -- data ----------------------------------------------------------------------
     def write(self, ino: int, offset: int, data: bytes) -> Generator[Event, None, int]:
         """Packed write through the MDS (which does the EC server-side)."""
+        with self.tracer.span("dfs.write", track="dfs", ino=ino, length=len(data)):
+            return (yield from self._write_impl(ino, offset, data))
+
+    def _write_impl(self, ino: int, offset: int, data: bytes) -> Generator[Event, None, int]:
         pos = 0
         while pos < len(data):
             chunk = data[pos : pos + self.MAX_RPC]
@@ -200,6 +214,10 @@ class StandardNfsClient(_FailureAwareRpc):
         return len(data)
 
     def read(self, ino: int, offset: int, length: int) -> Generator[Event, None, bytes]:
+        with self.tracer.span("dfs.read", track="dfs", ino=ino, length=length):
+            return (yield from self._read_impl(ino, offset, length))
+
+    def _read_impl(self, ino: int, offset: int, length: int) -> Generator[Event, None, bytes]:
         out = bytearray()
         pos = 0
         while pos < length:
@@ -443,18 +461,20 @@ class OffloadedDfsClient(_FailureAwareRpc):
     # -- data ---------------------------------------------------------------------------
     def write(self, ino: int, offset: int, data: bytes) -> Generator[Event, None, int]:
         """Client-side EC + direct I/O; size updates are lazy/batched."""
-        self.ops += 1
-        yield from self._charge()
-        yield from self.stripeio.write(ino, offset, data)
-        end = offset + len(data)
-        cached = self._attr_cache.get(ino)
-        if cached is None or end > max(cached.size, self._dirty_sizes.get(ino, 0)):
-            self._dirty_sizes[ino] = max(end, self._dirty_sizes.get(ino, 0))
-            if len(self._dirty_sizes) >= self.params.deleg_batch:
-                yield from self.flush_metadata()
-        return len(data)
+        with self.tracer.span("dfs.write", track="dfs", ino=ino, length=len(data)):
+            self.ops += 1
+            yield from self._charge()
+            yield from self.stripeio.write(ino, offset, data)
+            end = offset + len(data)
+            cached = self._attr_cache.get(ino)
+            if cached is None or end > max(cached.size, self._dirty_sizes.get(ino, 0)):
+                self._dirty_sizes[ino] = max(end, self._dirty_sizes.get(ino, 0))
+                if len(self._dirty_sizes) >= self.params.deleg_batch:
+                    yield from self.flush_metadata()
+            return len(data)
 
     def read(self, ino: int, offset: int, length: int) -> Generator[Event, None, bytes]:
-        self.ops += 1
-        yield from self._charge(write=False)
-        return (yield from self.stripeio.read(ino, offset, length))
+        with self.tracer.span("dfs.read", track="dfs", ino=ino, length=length):
+            self.ops += 1
+            yield from self._charge(write=False)
+            return (yield from self.stripeio.read(ino, offset, length))

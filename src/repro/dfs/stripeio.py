@@ -18,6 +18,7 @@ from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon, StripeLayout
 from ..fault.retry import RetryPolicy, RpcTimeout, call_with_timeout
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
@@ -35,6 +36,9 @@ class StorageUnavailable(RuntimeError):
 
 class StripeIO:
     """Direct-I/O engine for one client endpoint."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -78,6 +82,12 @@ class StripeIO:
         budget surfaces as an ``("err", "ETIMEDOUT")`` reply so the EC
         degraded-read machinery treats both identically.
         """
+        with self.tracer.span("ds.rpc", track="net", dst=ds_name(server), op=str(op[0])):
+            return (yield from self._ds_call_impl(server, op, size))
+
+    def _ds_call_impl(
+        self, server: int, op: tuple, size: int
+    ) -> Generator[Event, None, object]:
         pol = self.retry
         if pol is None:
             resp = yield from self.fabric.rpc(self.src, ds_name(server), op, size)
@@ -105,6 +115,12 @@ class StripeIO:
         procs = [self.env.process(g) for g in gens]
         if not procs:
             return []
+        # Seed each spawned process's span stack so the per-unit RPC spans
+        # nest under the stripe span instead of becoming orphan roots.
+        cur = self.tracer.current()
+        if cur is not None:
+            for p in procs:
+                self.tracer.bind(p, cur)
         results = yield self.env.all_of(procs)
         return [results[p] for p in procs]
 
@@ -162,6 +178,12 @@ class StripeIO:
         """
         if length <= 0:
             return b""
+        with self.tracer.span("stripe.read", track="dfs", length=length):
+            return (yield from self._read_striped(file_id, offset, length))
+
+    def _read_striped(
+        self, file_id: int, offset: int, length: int
+    ) -> Generator[Event, None, bytes]:
         lay = self.layout
         unit = lay.stripe_unit
         gens = []
@@ -315,6 +337,12 @@ class StripeIO:
         """
         if not data:
             return
+        with self.tracer.span("stripe.write", track="dfs", length=len(data)):
+            yield from self._write_striped(file_id, offset, data)
+
+    def _write_striped(
+        self, file_id: int, offset: int, data: bytes
+    ) -> Generator[Event, None, None]:
         lay = self.layout
         full: list[tuple[int, bytes]] = []  # (stripe, payload)
         gens = []

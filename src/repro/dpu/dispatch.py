@@ -15,6 +15,7 @@ from typing import Generator, Optional
 
 from ..dfs.clients import DfsError, OffloadedDfsClient
 from ..kvfs.fs import Kvfs, KvfsError
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..proto.filemsg import (
     Errno,
@@ -37,6 +38,9 @@ FLAG_DIRECT = 0x4000
 
 class IoDispatch:
     """Routes file requests to KVFS or the DFS client on the DPU."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -66,11 +70,13 @@ class IoDispatch:
             self.standalone_ops += 1
             if self.kvfs is None:
                 return FileResponse(status=Errno.EINVAL), b""
-            return (yield from self._kvfs_op(request, payload))
+            with self.tracer.span("dispatch.kvfs", track="dpu", op=request.op.name):
+                return (yield from self._kvfs_op(request, payload))
         self.distributed_ops += 1
         if self.dfs_client is None:
             return FileResponse(status=Errno.EINVAL), b""
-        return (yield from self._dfs_op(request, payload))
+        with self.tracer.span("dispatch.dfs", track="dpu", op=request.op.name):
+            return (yield from self._dfs_op(request, payload))
 
     # ------------------------------------------------------------------ KVFS stack
     def _kvfs_op(

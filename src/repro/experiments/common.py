@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
+from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment
 from ..sim.cpu import CpuPool
 
@@ -34,6 +35,7 @@ def measure_threads(
     op_factory: Callable[[int, int], Generator],
     host_cpu: Optional[CpuPool] = None,
     dpu_cpu: Optional[CpuPool] = None,
+    tracer=NULL_TRACER,
 ) -> ThreadsResult:
     """Run ``op_factory(tid, op_index)`` in a closed loop on N threads.
 
@@ -46,7 +48,8 @@ def measure_threads(
     def thread(tid: int):
         for j in range(ops_per_thread):
             t0 = env.now
-            yield from op_factory(tid, j)
+            with tracer.span("op", track="client", parent=None, tid=tid, j=j):
+                yield from op_factory(tid, j)
             latencies.append(env.now - t0)
 
     if host_cpu is not None:

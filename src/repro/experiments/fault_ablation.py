@@ -29,6 +29,7 @@ from ..core.testbeds import build_host_dfs_clients
 from ..dfs.mds import DFS_ROOT_INO
 from ..fault import ChannelFaults
 from ..metrics.stats import LatencyRecorder, ResultTable
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams, default_params
 
 __all__ = ["run", "VARIANTS"]
@@ -96,18 +97,21 @@ def _run_variant(
     lat = LatencyRecorder()
     span = NSTRIPES * stripe
 
+    tracer = tb.tracer or NULL_TRACER
+
     def reader(tid: int):
         rng = env.substream(f"fault-ablation:t{tid}")
         for _ in range(ops_per_thread):
             off = rng.randrange(span // BLOCK) * BLOCK
             expect = bytes([(off // stripe) & 0xFF]) * BLOCK
             t0 = env.now
-            try:
-                data = yield from client.read(ino, off, BLOCK)
-                if data != expect:
+            with tracer.span("op.read", track="client", parent=None, tid=tid):
+                try:
+                    data = yield from client.read(ino, off, BLOCK)
+                    if data != expect:
+                        errors[0] += 1
+                except Exception:
                     errors[0] += 1
-            except Exception:
-                errors[0] += 1
             lat.add(env.now - t0)
             done[0] += 1
 
@@ -117,15 +121,17 @@ def _run_variant(
     elapsed = env.now - started
 
     ok = total - errors[0]
-    retries = client.retries + client.stripeio.retries
+    summary = lat.summary()
+    snap = tb.registry.snapshot()
+    retries = snap.get("dfs.opt.retries", 0) + snap.get("dfs.opt.stripe.retries", 0)
     return (
         variant,
         ok / total,
-        lat.percentile(50) * 1e6,
-        lat.percentile(99) * 1e6,
+        summary["p50"] * 1e6,
+        summary["p99"] * 1e6,
         ok / elapsed if elapsed > 0 else 0.0,
         retries,
-        client.stripeio.degraded_stripes,
+        snap.get("dfs.opt.stripe.degraded_stripes", 0),
         errors[0],
     )
 

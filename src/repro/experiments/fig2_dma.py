@@ -17,33 +17,44 @@ from typing import Optional, Sequence
 
 from ..core.testbeds import build_raw_transport
 from ..metrics.stats import ResultTable
+from ..obsv.metrics import Registry
 from ..params import SystemParams
 
 __all__ = ["count_dmas", "run"]
+
+_TAG_PREFIX = "pcie.by_tag."
 
 
 def count_dmas(
     kind: str, rw: str, size: int, params: Optional[SystemParams] = None
 ) -> dict:
-    """Execute one op on a fresh rig; return its transaction counters."""
+    """Execute one op on a fresh rig; return its transaction counters.
+
+    Counters are read through the rig's metrics registry: snapshot before,
+    snapshot after, numeric delta.
+    """
     rig = build_raw_transport(kind, params=params)
     block = b"\x5a" * size
 
     def flow():
         if rw == "read":
             yield from rig.adapter.write(1, 0, block, 0)  # stage the data
-        snap = rig.link.stats.snapshot()
+        snap = rig.registry.snapshot()
         if rw == "read":
             yield from rig.adapter.read(1, 0, size, 0)
         else:
             yield from rig.adapter.write(1, 0, block, 0)
-        d = rig.link.stats.delta(snap)
+        d = Registry.delta(rig.registry.snapshot(), snap)
         return {
-            "ops": d.ops(),
-            "by_tag": d.by_tag,
-            "doorbells": d.doorbells,
-            "interrupts": d.interrupts,
-            "control_tlps": d.control_tlps(),
+            "ops": d["pcie.ops"],
+            "by_tag": {
+                k[len(_TAG_PREFIX):]: v
+                for k, v in d.items()
+                if k.startswith(_TAG_PREFIX) and v
+            },
+            "doorbells": d["pcie.doorbells"],
+            "interrupts": d["pcie.interrupts"],
+            "control_tlps": d["pcie.control_tlps"],
         }
 
     return rig.run_until(flow())

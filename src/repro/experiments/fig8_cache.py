@@ -16,6 +16,7 @@ from ..core.testbeds import build_dpc_system, build_ext4_system
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from .common import measure_threads
 
@@ -66,15 +67,18 @@ def random_write_panel(
             def op(tid, j, _h=handle, _s=sys):
                 yield from _s.vfs.write(_h, _rand_off(tid, j, FILE_SIZE), block)
 
-            res = measure_threads(sys.env, nthreads, ops_per_thread, op)
-            cache = getattr(sys, "cache_host", None)
+            res = measure_threads(
+                sys.env, nthreads, ops_per_thread, op,
+                tracer=sys.tracer or NULL_TRACER,
+            )
+            snap = sys.registry.snapshot()
             table.add_row(
                 fs,
                 mode,
                 nthreads,
                 res.iops,
-                cache.stats.evict_waits if cache else 0,
-                cache.stats.atomics_per_hit() if cache else 0.0,
+                snap.get("cache.evict_waits", 0),
+                snap.get("cache.atomics_per_hit", 0.0),
             )
     table.note("buffered absorbs into host memory; flushers write back behind")
     return table
@@ -105,9 +109,11 @@ def seq_read_prefetch_panel(
                 off = (j * BLOCK) % (2 * 1024 * 1024)
                 yield from _s.vfs.read(_hs[tid], off, BLOCK)
 
-            res = measure_threads(sys.env, n, ops_per_thread, op)
+            res = measure_threads(
+                sys.env, n, ops_per_thread, op, tracer=sys.tracer or NULL_TRACER
+            )
             iops[mode] = res.iops
-            hit_rate[mode] = sys.cache_host.stats.hit_rate()
+            hit_rate[mode] = sys.registry.get("cache.hit_rate")
         table.add_row(n, "direct", iops["direct"], 1.0, hit_rate["direct"])
         table.add_row(
             n,

@@ -26,6 +26,7 @@ from ..dfs.mds import DFS_ROOT_INO
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from .common import measure_threads
 
@@ -51,6 +52,8 @@ class _HostClientDriver:
         self.client = self.tb.std_client if kind == "std" else self.tb.opt_client
         self.env = self.tb.env
         self.host_cpu = self.tb.host_cpu
+        self.registry = self.tb.registry
+        self.tracer = self.tb.tracer
 
     def prep_bigfile(self):
         def prep():
@@ -132,6 +135,8 @@ class _DpcDriver:
         self.sys = build_dpc_system(params, with_dfs=True)
         self.env = self.sys.env
         self.host_cpu = self.sys.host_cpu
+        self.registry = self.sys.registry
+        self.tracer = self.sys.tracer
 
     def prep_bigfile(self):
         def prep():
@@ -225,12 +230,19 @@ def run_case(
         else:
             tid_dirs = driver.make_dirs(nthreads)
     op = driver.ops(case, handle, smallfiles, tid_dirs)
-    res = measure_threads(driver.env, nthreads, ops_per_thread, op, host_cpu=driver.host_cpu)
+    res = measure_threads(
+        driver.env,
+        nthreads,
+        ops_per_thread,
+        op,
+        host_cpu=driver.host_cpu,
+        tracer=driver.tracer or NULL_TRACER,
+    )
     unit = SEQ_CHUNK if case.startswith("seq") else BLOCK
     return {
         "iops": res.iops,
         "bandwidth": res.iops * unit,
-        "host_cores": driver.host_cpu.window_cores_used(),
+        "host_cores": driver.registry.get("cpu.host.window_cores"),
         "lat_us": res.mean_lat * 1e6,
     }
 

@@ -20,6 +20,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
+from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment
 
 __all__ = ["FaultEvent", "ChannelFaults", "FaultPlane"]
@@ -53,6 +54,9 @@ class ChannelFaults:
 class FaultPlane:
     """Registry of fault schedules + trace of faults and recoveries."""
 
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
+
     def __init__(self, env: Environment, name: str = "fault"):
         self.env = env
         self.name = name
@@ -68,6 +72,7 @@ class FaultPlane:
     def record(self, kind: str, target: str, detail: str = "") -> None:
         """Append a fault/recovery event at the current simulated time."""
         self.trace.append(FaultEvent(self.env.now, kind, target, detail))
+        self.tracer.instant(kind, track="fault", target=target, detail=detail)
 
     def counts(self) -> dict[str, int]:
         """Histogram of trace event kinds."""

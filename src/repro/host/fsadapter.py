@@ -29,6 +29,7 @@ from ..proto.nvme.ini import NvmeFsInitiator
 from ..proto.nvme.sqe import ReqType
 from ..proto.virtio.fuse import FUSE_MAX_TRANSFER
 from ..proto.virtio.virtiofs import VirtioFsHost
+from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
 from .adapters import FsError, O_DIRECT
@@ -47,6 +48,9 @@ class _TransportAdapterBase:
     """Shared request/response plumbing for both transports."""
 
     root_ino = 0
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(self, env: Environment, host_cpu: CpuPool, params: SystemParams):
         self.env = env
@@ -156,14 +160,15 @@ class DpcAdapter(_TransportAdapterBase):
         self._sizes: dict[int, int] = {}
 
     def _submit(self, request, write_payload=b"", read_len=0):
-        yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
-        resp = yield from self.ini.submit(
-            request,
-            write_payload=write_payload,
-            read_len=read_len,
-            req_type=self.req_type,
-            submitter_id=self._submitter(),
-        )
+        with self.tracer.span("host.submit", track="host", op=request.op.name):
+            yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
+            resp = yield from self.ini.submit(
+                request,
+                write_payload=write_payload,
+                read_len=read_len,
+                req_type=self.req_type,
+                submitter_id=self._submitter(),
+            )
         return resp
 
     def _cache_key(self, ino: int) -> int:
@@ -229,14 +234,19 @@ class DpcAdapter(_TransportAdapterBase):
                 )
             )
             pos += n
-        yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
-        return (
-            yield from self.ini.submit_many(
-                batch, req_type=self.req_type, submitter_id=self._submitter()
+        with self.tracer.span("host.submit", track="host", op=op.name, batch=len(batch)):
+            yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
+            return (
+                yield from self.ini.submit_many(
+                    batch, req_type=self.req_type, submitter_id=self._submitter()
+                )
             )
-        )
 
     def read(self, ino, offset, length, flags=0):
+        with self.tracer.span("host.read", track="host", ino=ino, length=length):
+            return (yield from self._read_impl(ino, offset, length, flags))
+
+    def _read_impl(self, ino, offset, length, flags=0):
         """Hybrid-cache probe first; grouped nvme-fs READ for the misses."""
         if flags & O_DIRECT or self.cache is None or length == 0:
             results = yield from self._submit_split(
@@ -283,6 +293,10 @@ class DpcAdapter(_TransportAdapterBase):
         return data
 
     def write(self, ino, offset, data, flags=0):
+        with self.tracer.span("host.write", track="host", ino=ino, length=len(data)):
+            return (yield from self._write_impl(ino, offset, data, flags))
+
+    def _write_impl(self, ino, offset, data, flags=0):
         """Direct -> nvme-fs WRITE; buffered -> host cache pages (dirty)."""
         bypass_cache = self.breaker is not None and self.breaker.state == "open"
         if bypass_cache:
@@ -350,15 +364,20 @@ class DpfsAdapter(_TransportAdapterBase):
         self.virtio = virtio
 
     def _submit(self, request, write_payload=b"", read_len=0):
-        resp = yield from self.virtio.submit(
-            request,
-            write_payload=write_payload,
-            read_len=read_len,
-            submitter_id=self._submitter(),
-        )
+        with self.tracer.span("host.submit", track="host", op=request.op.name):
+            resp = yield from self.virtio.submit(
+                request,
+                write_payload=write_payload,
+                read_len=read_len,
+                submitter_id=self._submitter(),
+            )
         return resp
 
     def read(self, ino, offset, length, flags=0):
+        with self.tracer.span("host.read", track="host", ino=ino, length=length):
+            return (yield from self._read_impl(ino, offset, length, flags))
+
+    def _read_impl(self, ino, offset, length, flags=0):
         out = bytearray()
         pos = 0
         while pos < length:
@@ -375,6 +394,10 @@ class DpfsAdapter(_TransportAdapterBase):
         return bytes(out)
 
     def write(self, ino, offset, data, flags=0):
+        with self.tracer.span("host.write", track="host", ino=ino, length=len(data)):
+            return (yield from self._write_impl(ino, offset, data, flags))
+
+    def _write_impl(self, ino, offset, data, flags=0):
         pos = 0
         while pos < len(data):
             chunk = data[pos : pos + FUSE_MAX_TRANSFER]

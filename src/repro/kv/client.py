@@ -24,6 +24,7 @@ import hashlib
 from typing import Any, Generator, Optional, Sequence
 
 from ..fault.retry import RetryBudgetExceeded, RetryPolicy, RpcTimeout, call_with_timeout
+from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
 from .server import MSG_OVERHEAD
@@ -45,6 +46,9 @@ class KvClient:
     the first 8 bytes — KVFS installs a policy that colocates a directory's
     entries while spreading a file's blocks across shards.
     """
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -87,6 +91,12 @@ class KvClient:
         self, dst: str, payload: tuple, size: int
     ) -> Generator[Event, None, Any]:
         """One logical RPC: deadline + backoff + retry budget."""
+        with self.tracer.span("kv.rpc", track="net", dst=dst, op=str(payload[0])):
+            return (yield from self._call_impl(dst, payload, size))
+
+    def _call_impl(
+        self, dst: str, payload: tuple, size: int
+    ) -> Generator[Event, None, Any]:
         pol = self.retry
         if pol is None:
             resp = yield from self.fabric.rpc(self.src, dst, payload, size)

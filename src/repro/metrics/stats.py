@@ -11,19 +11,29 @@ __all__ = ["LatencyRecorder", "ResultTable", "fmt_us", "fmt_iops", "fmt_gbps"]
 
 
 class LatencyRecorder:
-    """Collects per-operation latencies (seconds) and summarises them."""
+    """Collects per-operation latencies (seconds) and summarises them.
+
+    Percentile queries sort once and cache the sorted array; ``add``
+    invalidates the cache, so interleaved record/query workloads stay
+    correct while query-heavy consumers (every experiment's summary row
+    asks for several percentiles) sort only once.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._sorted: Optional[np.ndarray] = None
 
     def add(self, seconds: float) -> None:
         self._samples.append(seconds)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self._samples)
 
     def _arr(self) -> np.ndarray:
-        return np.asarray(self._samples, dtype=np.float64)
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples, dtype=np.float64))
+        return self._sorted
 
     @property
     def mean(self) -> float:
@@ -41,11 +51,26 @@ class LatencyRecorder:
         return self.percentile(99)
 
     @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
     def max(self) -> float:
-        return float(self._arr().max()) if self._samples else 0.0
+        return float(self._arr()[-1]) if self._samples else 0.0
 
     def mean_us(self) -> float:
         return self.mean * 1e6
+
+    def summary(self) -> dict:
+        """The standard digest (seconds) every experiment reports from."""
+        return {
+            "count": len(self._samples),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
 
 
 def fmt_us(seconds: float) -> str:
@@ -73,10 +98,20 @@ class ResultTable:
     rows: list[list] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
+    @staticmethod
+    def _normalize(v):
+        """Coerce numpy scalars to builtins so ``render``'s isinstance
+        float-formatting check sees them (np.float64 is not ``float``)."""
+        if isinstance(v, np.integer):
+            return int(v)
+        if isinstance(v, np.floating):
+            return float(v)
+        return v
+
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
             raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
-        self.rows.append(list(values))
+        self.rows.append([self._normalize(v) for v in values])
 
     def note(self, text: str) -> None:
         self.notes.append(text)

@@ -1,0 +1,213 @@
+"""Chrome trace-event / Perfetto JSON export and schema validation.
+
+Emits the JSON-array flavour of the Chrome trace-event format, loadable
+directly in ``ui.perfetto.dev`` or ``chrome://tracing``:
+
+* every span becomes a complete ``"X"`` event (``ts``/``dur`` in
+  microseconds of *simulated* time), ``pid`` 1, ``tid`` = its track's lane;
+* every instant becomes an ``"i"`` event on its track;
+* ``"M"`` metadata events name the process ("repro sim") and each track;
+* span connectivity is carried in ``args`` (``span_id``/``parent_id``) —
+  overlapping spans from concurrent simulated processes share a track, so
+  visual nesting alone cannot encode the tree.
+
+Export order is deterministic: metadata first, then events sorted by
+``(ts, span_id)``, so same-seed runs produce byte-identical files.
+``validate_trace`` is the checker the CI trace-smoke step runs against the
+emitted file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "TRACK_ORDER",
+    "to_chrome_trace",
+    "write_trace",
+    "write_trace_multi",
+    "validate_trace",
+]
+
+# Canonical lane order in the Perfetto UI (tid is 1-based rank here; unknown
+# tracks get lanes after these).
+TRACK_ORDER = ["client", "host", "cache", "transport", "pcie", "dpu", "net", "fault"]
+
+
+def _track_tids(tracks: list[str]) -> dict[str, int]:
+    ordered = [t for t in TRACK_ORDER if t in tracks]
+    ordered += sorted(t for t in tracks if t not in TRACK_ORDER)
+    return {t: i + 1 for i, t in enumerate(ordered)}
+
+
+def _clean_args(attrs: dict) -> dict:
+    out = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = str(v)
+    return out
+
+
+def to_chrome_trace(tracer, pid: int = 1, process: str = "repro sim") -> list[dict]:
+    """Render a :class:`~repro.obsv.tracer.Tracer` as a list of trace events."""
+    tracks = sorted({s.track for s in tracer.spans} | {t for _, _, t, _ in tracer.instants})
+    tids = _track_tids(tracks)
+
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": process}},
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                       "args": {"name": track}})
+
+    body: list[dict] = []
+    for s in tracer.spans:
+        end = s.end if s.end is not None else s.start
+        args = _clean_args(s.attrs)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        # Round both endpoints (not ts + a rounded duration): spans closing
+        # at the same simulated instant must get identical rounded ends, or
+        # a child could overhang its parent by one rounding quantum.
+        ts = round(s.start * 1e6, 3)
+        te = round(end * 1e6, 3)
+        body.append({
+            "name": s.name, "ph": "X", "pid": pid, "tid": tids[s.track],
+            "ts": ts,
+            "dur": round(te - ts, 3),
+            "args": args,
+        })
+    for t, name, track, attrs in tracer.instants:
+        body.append({
+            "name": name, "ph": "i", "s": "t", "pid": pid, "tid": tids[track],
+            "ts": round(t * 1e6, 3),
+            "args": _clean_args(attrs),
+        })
+    body.sort(key=lambda e: (e["ts"], e["args"].get("span_id", 0), e["name"]))
+    return events + body
+
+
+def write_trace(tracer, path) -> list[dict]:
+    events = to_chrome_trace(tracer)
+    with open(path, "w") as f:
+        json.dump(events, f, indent=1)
+        f.write("\n")
+    return events
+
+
+def write_trace_multi(named_tracers, path) -> list[dict]:
+    """Export several systems into one file, one trace-event ``pid`` each.
+
+    Each system has its own simulation clock starting at 0, so events from
+    different pids interleave on ``ts``; the combined body is re-sorted
+    globally to keep ``ts`` monotonic over the whole array.
+    """
+    meta: list[dict] = []
+    body: list[dict] = []
+    for i, (name, tracer) in enumerate(named_tracers):
+        for ev in to_chrome_trace(tracer, pid=i + 1, process=name):
+            (meta if ev["ph"] == "M" else body).append(ev)
+    body.sort(key=lambda e: (e["ts"], e["pid"], e.get("args", {}).get("span_id", 0), e["name"]))
+    events = meta + body
+    with open(path, "w") as f:
+        json.dump(events, f, indent=1)
+        f.write("\n")
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Validation (used by tests and the CI trace-smoke step)
+# ---------------------------------------------------------------------------
+
+_REQUIRED = {"name", "ph", "pid", "tid"}
+_EPS_US = 1e-6
+
+
+def validate_trace(events: Any, errors: Optional[list[str]] = None) -> list[str]:
+    """Check a parsed trace against the Chrome trace-event schema rules we
+    rely on.  Returns a list of violation strings (empty == valid):
+
+    * every event has ``name``/``ph``/``pid``/``tid``; non-metadata events
+      also have a numeric ``ts`` and ``X`` events a numeric ``dur >= 0``;
+    * ``B``/``E`` events (if any) are balanced per ``(pid, tid)``;
+    * non-metadata events appear in monotonically non-decreasing ``ts``
+      order;
+    * every ``parent_id`` refers to an existing span, the parent/child graph
+      is acyclic, and each child's interval is contained in its parent's.
+    """
+    errs = errors if errors is not None else []
+    if not isinstance(events, list):
+        return ["top-level JSON must be an array of events"]
+
+    spans: dict[tuple, dict] = {}  # (pid, span_id) -> event; ids are per-pid
+    open_be: dict[tuple, list] = {}
+    last_ts = None
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errs.append(f"event {i}: not an object")
+            continue
+        missing = _REQUIRED - ev.keys()
+        if missing:
+            errs.append(f"event {i} ({ev.get('name')!r}): missing keys {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errs.append(f"event {i} ({ev['name']!r}): missing/non-numeric ts")
+            continue
+        if last_ts is not None and ts < last_ts - _EPS_US:
+            errs.append(f"event {i} ({ev['name']!r}): ts {ts} < previous {last_ts} (non-monotonic)")
+        last_ts = max(last_ts, ts) if last_ts is not None else ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errs.append(f"event {i} ({ev['name']!r}): X event needs dur >= 0")
+                continue
+            sid = ev.get("args", {}).get("span_id")
+            if isinstance(sid, int):
+                spans[(ev["pid"], sid)] = ev
+        elif ph == "B":
+            open_be.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+        elif ph == "E":
+            stack = open_be.get((ev["pid"], ev["tid"]), [])
+            if not stack:
+                errs.append(f"event {i} ({ev['name']!r}): E without matching B")
+            else:
+                stack.pop()
+    for (pid, tid), stack in open_be.items():
+        for ev in stack:
+            errs.append(f"unclosed B event {ev['name']!r} on pid={pid} tid={tid}")
+
+    # parent/child structure over X events carrying span ids
+    for (pid, sid), ev in spans.items():
+        parent = ev["args"].get("parent_id")
+        if parent is None:
+            continue
+        pev = spans.get((pid, parent))
+        if pev is None:
+            errs.append(f"span {sid} ({ev['name']!r}): parent_id {parent} not in trace")
+            continue
+        if ev["ts"] < pev["ts"] - _EPS_US or \
+           ev["ts"] + ev["dur"] > pev["ts"] + pev["dur"] + _EPS_US:
+            errs.append(
+                f"span {sid} ({ev['name']!r}) [{ev['ts']},{ev['ts'] + ev['dur']}] "
+                f"not contained in parent {parent} ({pev['name']!r}) "
+                f"[{pev['ts']},{pev['ts'] + pev['dur']}]")
+        # cycle check by walking up with a step bound
+        seen = {sid}
+        cur = parent
+        while cur is not None:
+            if cur in seen:
+                errs.append(f"span {sid}: parent chain contains a cycle at {cur}")
+                break
+            seen.add(cur)
+            nxt = spans.get((pid, cur))
+            cur = nxt["args"].get("parent_id") if nxt else None
+    return errs

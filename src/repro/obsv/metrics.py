@@ -1,0 +1,162 @@
+"""Unified metrics registry.
+
+One :class:`Registry` per built system replaces reaching into scattered
+per-component stats dataclasses.  Two kinds of entries coexist:
+
+* **owned instruments** — :class:`Counter` / :class:`Gauge` /
+  :class:`Log2Histogram` created via ``registry.counter(name)`` etc. and
+  updated directly by instrumented code.
+* **collectors** — zero-arg callables registered with
+  ``registry.collect(fn)`` that pull the existing hot-path stats objects
+  (``DmaStats``, ``CacheStats``, ``EngineStats``, ``CpuPool`` …) into the
+  snapshot at read time.  The hot paths keep their plain attribute
+  increments — bit-identical behaviour at fixed seed — while every consumer
+  reads through ``Registry.snapshot()``.
+
+Snapshots are plain ``{name: number}`` dicts with dotted names
+(``pcie.doorbells``, ``cache.read_hits``, ``cpu.host.busy``), returned in
+sorted-key order so same-seed runs serialize identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["Counter", "Gauge", "Log2Histogram", "Registry"]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Log2Histogram:
+    """Fixed log2-bucketed histogram.
+
+    Bucket ``i`` (0-based) counts samples in ``[2**i, 2**(i+1))`` scaled
+    units, with bucket 0 also absorbing everything below ``2**0`` and the
+    last bucket absorbing everything at or above ``2**(nbuckets-1)``.
+    ``scale`` converts raw samples into bucket units (e.g. ``1e6`` to bucket
+    seconds as microseconds).
+    """
+
+    __slots__ = ("name", "scale", "buckets", "count", "total")
+
+    NBUCKETS = 32
+
+    def __init__(self, name: str, scale: float = 1.0):
+        self.name = name
+        self.scale = scale
+        self.buckets = [0] * self.NBUCKETS
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, v: float) -> None:
+        u = v * self.scale
+        self.count += 1
+        self.total += u
+        self.buckets[self.bucket_index(u)] += 1
+
+    @classmethod
+    def bucket_index(cls, u: float) -> int:
+        if u < 1.0:
+            return 0
+        i = int(u).bit_length() - 1
+        return min(i, cls.NBUCKETS - 1)
+
+    @staticmethod
+    def bucket_bounds(i: int) -> tuple[float, float]:
+        lo = 0.0 if i == 0 else float(2 ** i)
+        hi = float("inf") if i == Log2Histogram.NBUCKETS - 1 else float(2 ** (i + 1))
+        return lo, hi
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def nonzero(self) -> list[tuple[int, int]]:
+        return [(i, n) for i, n in enumerate(self.buckets) if n]
+
+
+class Registry:
+    """Named instruments + pull collectors behind one ``snapshot()``."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._instruments: dict[str, Any] = {}
+        self._collectors: list[Callable[[], dict]] = []
+
+    # -- owned instruments ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, scale: float = 1.0) -> Log2Histogram:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Log2Histogram(name, scale)
+        elif not isinstance(inst, Log2Histogram):
+            raise TypeError(f"metric {name!r} already registered as {type(inst).__name__}")
+        return inst
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name)
+        elif not isinstance(inst, cls):
+            raise TypeError(f"metric {name!r} already registered as {type(inst).__name__}")
+        return inst
+
+    # -- pull collectors -----------------------------------------------------
+    def collect(self, fn: Callable[[], dict]) -> None:
+        """Register a zero-arg callable returning ``{name: number}`` merged
+        into every snapshot (collectors win over owned instruments on name
+        collision — they are the source of truth for hot-path stats)."""
+        self._collectors.append(fn)
+
+    # -- reads ----------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Log2Histogram):
+                out[f"{name}.count"] = inst.count
+                out[f"{name}.mean"] = inst.mean()
+                for i, n in inst.nonzero():
+                    out[f"{name}.bucket.{i:02d}"] = n
+            else:
+                out[name] = inst.value
+        for fn in self._collectors:
+            out.update(fn())
+        return dict(sorted(out.items()))
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.snapshot().get(name, default)
+
+    @staticmethod
+    def delta(new: dict[str, float], old: Optional[dict[str, float]]) -> dict[str, float]:
+        """Numeric difference of two snapshots (missing old keys count as 0)."""
+        if old is None:
+            return dict(new)
+        return {k: v - old.get(k, 0) for k, v in new.items()}

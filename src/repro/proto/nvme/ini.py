@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
+from ...obsv.tracer import NULL_TRACER
 from ...params import SystemParams
 from ...sim.core import Environment, Event
 from ...sim.cpu import CpuPool
@@ -57,6 +58,9 @@ class _Pending:
 
 class NvmeFsInitiator:
     """Host driver: multi-queue SQE submission + completion handling."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -132,6 +136,9 @@ class NvmeFsInitiator:
             qp.submitted += 1
             done = self.env.event()
             qp.pending[cid] = done
+            # Span context rides with the command: the target adopts it when
+            # it processes (qid, cid) on the far side of the link.
+            self.tracer.handoff(("nvme", qp.qid, cid))
             return _Pending(cid, done, wbuf, rbuf, rh_len, read_len)
         except BaseException:
             self.arena.free(wbuf)
@@ -201,17 +208,19 @@ class NvmeFsInitiator:
         submitter_id: int,
     ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
         qp = self.queue_for(submitter_id)
-        slot = qp.slots.request()
-        yield slot
-        pend: Optional[_Pending] = None
-        try:
-            pend = yield from self._build(qp, request, write_payload, read_len, req_type)
-            yield from self._kick(qp)
-            return (yield from self._collect(qp, pend))
-        finally:
-            if pend is not None:
-                self._free(pend)
-            qp.slots.release(slot)
+        with self.tracer.span("nvme.submit", track="transport",
+                              op=request.op.name, qid=qp.qid):
+            slot = qp.slots.request()
+            yield slot
+            pend: Optional[_Pending] = None
+            try:
+                pend = yield from self._build(qp, request, write_payload, read_len, req_type)
+                yield from self._kick(qp)
+                return (yield from self._collect(qp, pend))
+            finally:
+                if pend is not None:
+                    self._free(pend)
+                qp.slots.release(slot)
 
     def submit_many(
         self,
@@ -232,6 +241,17 @@ class NvmeFsInitiator:
         slot request blocks mid-chunk (other submitters hold the queue),
         the SQEs produced so far are announced first so the ring drains.
         """
+        with self.tracer.span("nvme.submit_many", track="transport", n=len(batch)):
+            return (
+                yield from self._submit_many_impl(batch, req_type, submitter_id)
+            )
+
+    def _submit_many_impl(
+        self,
+        batch: Sequence[tuple[FileRequest, bytes, int]],
+        req_type: int,
+        submitter_id: int,
+    ) -> Generator[Event, None, list[tuple[FileResponse, bytes]]]:
         qp = self.queue_for(submitter_id)
         results: list[tuple[FileResponse, bytes]] = []
         pos = 0

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator
 
+from ...obsv.tracer import NULL_TRACER
 from ...params import SystemParams
 from ...sim.core import Environment, Event
 from ...sim.cpu import CpuPool
@@ -61,6 +62,9 @@ class _CqState:
 
 class NvmeFsTarget:
     """DPU driver: per-queue workers + pluggable request backend."""
+
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -124,6 +128,13 @@ class NvmeFsTarget:
                     )
 
     def _process(self, qp: NvmeQueuePair, sqe: Sqe) -> Generator[Event, None, None]:
+        # Link to the initiator-side span that produced this (qid, cid).
+        parent = self.tracer.adopt(("nvme", qp.qid, sqe.cid))
+        with self.tracer.span("nvme.tgt", track="transport", parent=parent,
+                              qid=qp.qid, cid=sqe.cid):
+            yield from self._process_impl(qp, sqe)
+
+    def _process_impl(self, qp: NvmeQueuePair, sqe: Sqe) -> Generator[Event, None, None]:
         p = self.params
         # DPU CPU: parse + dispatch decision (IO_Dispatch reads DW0 bit 10).
         yield from self.dpu_cpu.execute(p.dpu_dispatch_cost, tag="nvme-tgt")

@@ -28,6 +28,7 @@ from __future__ import annotations
 import struct
 from typing import Callable, Generator
 
+from ...obsv.tracer import NULL_TRACER
 from ...params import SystemParams
 from ...sim.core import Environment, Event
 from ...sim.cpu import CpuPool
@@ -76,6 +77,9 @@ FILEOP_TO_FUSE = {
 class VirtioFsHost:
     """Host-side virtio-fs + FUSE request path (DPFS baseline)."""
 
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         env: Environment,
@@ -116,6 +120,18 @@ class VirtioFsHost:
         """Send one file operation through FUSE-over-virtio; returns
         (response, read payload).  Transfers above FUSE_MAX_TRANSFER must be
         split by the caller (as the kernel FUSE client does)."""
+        with self.tracer.span("virtio.submit", track="transport", op=request.op.name):
+            return (
+                yield from self._submit_impl(request, write_payload, read_len, submitter_id)
+            )
+
+    def _submit_impl(
+        self,
+        request: FileRequest,
+        write_payload: bytes,
+        read_len: int,
+        submitter_id: int,
+    ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
         if len(write_payload) > FUSE_MAX_TRANSFER or read_len > FUSE_MAX_TRANSFER:
             raise ValueError("transfer exceeds FUSE max_transfer; split the request")
         ring = self.ring_for(submitter_id)
@@ -123,6 +139,9 @@ class VirtioFsHost:
         yield slot
         self._unique += 1
         unique = self._unique
+        # Span context rides with the FUSE unique; the HAL adopts it after
+        # it decodes the command header on the DPU side.
+        self.tracer.handoff(("virtio", unique))
         # Build the FUSE message: header + op body (+ payload staged into
         # page-sized queue buffers — a real copy, charged to the host CPU).
         fuse_op = FILEOP_TO_FUSE[request.op]
@@ -236,6 +255,9 @@ class DpfsHal:
     as the nvme-fs target, so both transports drive identical DPU stacks.
     """
 
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         env: Environment,
@@ -294,6 +316,13 @@ class DpfsHal:
             self._contexts.release(ctx)
 
     def _process_body(self, ring: VRing, head: int) -> Generator[Event, None, None]:
+        # The HAL learns which host request this chain belongs to only after
+        # the command header DMA decodes the FUSE unique; the span opens
+        # unparented and is linked late via reparent().
+        with self.tracer.span("virtio.hal", track="transport", parent=None) as sp:
+            yield from self._body_impl(ring, head, sp)
+
+    def _body_impl(self, ring: VRing, head: int, sp) -> Generator[Event, None, None]:
         link = self.link
         # ③.. walk the descriptor chain.
         descs: list[Descriptor] = []
@@ -315,6 +344,7 @@ class DpfsHal:
         cmd_desc = descs[0]
         cmd = yield from link.dma_read(cmd_desc.addr, cmd_desc.len, tag="cmd-read")
         hdr = FuseInHeader.unpack(cmd)
+        sp.reparent(self.tracer.adopt(("virtio", hdr.unique))).set(unique=hdr.unique)
         body = cmd[FuseInHeader.SIZE :]
         write_descs = [d for d in descs[1:] if not d.device_writable]
         writable = [d for d in descs[1:] if d.device_writable]

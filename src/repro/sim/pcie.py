@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
+from ..obsv.tracer import NULL_TRACER
 from .core import Environment, Event
 from .memory import MemoryArena
 from .resources import Resource, TokenBucket
@@ -135,6 +136,9 @@ class PcieLink:
         Number of concurrent DMA engines on the DPU.
     """
 
+    #: flight-recorder hook; builders replace this with a live tracer
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         env: Environment,
@@ -216,10 +220,12 @@ class PcieLink:
     def doorbell(self, tag: str = "") -> Generator[Event, None, None]:
         """Host rings a device doorbell (MMIO write, posted)."""
         self.stats.record("doorbell", 4, tag)
+        self.tracer.instant("doorbell", track="pcie", tag=tag)
         yield self.env.timeout(self.latency * 0.5)
 
     def interrupt(self, tag: str = "") -> Generator[Event, None, None]:
         """Device raises a completion interrupt (MSI-X: posted memory write
         upstream — the control-TLP mirror image of a doorbell)."""
         self.stats.record("interrupt", 4, tag)
+        self.tracer.instant("interrupt", track="pcie", tag=tag)
         yield self.env.timeout(self.latency * 0.5)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
 from ..metrics.stats import LatencyRecorder
+from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
 
@@ -132,6 +133,7 @@ def run_job(
     host_cpu: Optional[CpuPool] = None,
     dpu_cpu: Optional[CpuPool] = None,
     payload_byte: int = 0x5A,
+    tracer=NULL_TRACER,
 ) -> JobResult:
     """Execute ``spec`` with one simulation process per thread.
 
@@ -154,13 +156,15 @@ def run_job(
         rng = env.substream(f"job:{spec.name}:t{tid}") if spec.seed is None else None
         for off, is_read in _offsets(spec, tid, rng):
             t0 = env.now
-            try:
-                if is_read:
-                    yield from target.read(off, spec.block_size)
-                else:
-                    yield from target.write(off, block)
-            except Exception:
-                errors[0] += 1
+            name = "op.read" if is_read else "op.write"
+            with tracer.span(name, track="client", parent=None, tid=tid):
+                try:
+                    if is_read:
+                        yield from target.read(off, spec.block_size)
+                    else:
+                        yield from target.write(off, block)
+                except Exception:
+                    errors[0] += 1
             lat.add(env.now - t0)
 
     if host_cpu is not None:

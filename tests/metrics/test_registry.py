@@ -1,0 +1,87 @@
+"""Metrics registry: instruments, histogram buckets, snapshot determinism."""
+
+import pytest
+
+from repro.obsv.metrics import Log2Histogram, Registry
+
+
+def test_counter_and_gauge_basics():
+    reg = Registry()
+    reg.counter("a").inc()
+    reg.counter("a").inc(4)
+    reg.gauge("g").set(2.5)
+    snap = reg.snapshot()
+    assert snap["a"] == 5
+    assert snap["g"] == 2.5
+
+
+def test_kind_mismatch_raises():
+    reg = Registry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_histogram_bucket_boundaries():
+    # bucket 0 absorbs [0, 2); bucket i is [2**i, 2**(i+1)).
+    assert Log2Histogram.bucket_index(0.0) == 0
+    assert Log2Histogram.bucket_index(0.999) == 0
+    assert Log2Histogram.bucket_index(1.0) == 0
+    assert Log2Histogram.bucket_index(1.999) == 0
+    assert Log2Histogram.bucket_index(2.0) == 1
+    assert Log2Histogram.bucket_index(3.999) == 1
+    assert Log2Histogram.bucket_index(4.0) == 2
+    assert Log2Histogram.bucket_index(2.0**31) == Log2Histogram.NBUCKETS - 1
+    assert Log2Histogram.bucket_index(2.0**40) == Log2Histogram.NBUCKETS - 1
+
+
+def test_histogram_bucket_bounds_cover_index():
+    for i in range(Log2Histogram.NBUCKETS):
+        lo, hi = Log2Histogram.bucket_bounds(i)
+        assert lo < hi
+        if i > 0:
+            # the lower bound lands in its own bucket
+            assert Log2Histogram.bucket_index(lo) == i
+
+
+def test_histogram_observe_scale_and_snapshot_expansion():
+    reg = Registry()
+    h = reg.histogram("lat_us", scale=1e6)  # seconds in, microseconds bucketed
+    h.observe(3e-6)   # 3us -> bucket 1
+    h.observe(3e-6)
+    h.observe(100e-6)  # 100us -> bucket 6
+    snap = reg.snapshot()
+    assert snap["lat_us.count"] == 3
+    assert snap["lat_us.bucket.01"] == 2
+    assert snap["lat_us.bucket.06"] == 1
+    assert abs(snap["lat_us.mean"] - (3 + 3 + 100) / 3) < 1e-9
+
+
+def test_snapshot_is_sorted_and_deterministic():
+    def build():
+        reg = Registry()
+        reg.counter("z.last").inc(1)
+        reg.counter("a.first").inc(2)
+        reg.collect(lambda: {"m.pulled": 7})
+        return reg
+
+    s1, s2 = build().snapshot(), build().snapshot()
+    assert s1 == s2
+    assert list(s1) == sorted(s1)
+
+
+def test_collectors_win_name_collisions():
+    reg = Registry()
+    reg.counter("dup").inc(1)
+    reg.collect(lambda: {"dup": 99})
+    assert reg.snapshot()["dup"] == 99
+
+
+def test_delta():
+    old = {"a": 1, "b": 2}
+    new = {"a": 4, "b": 2, "c": 5}
+    d = Registry.delta(new, old)
+    assert d == {"a": 3, "b": 0, "c": 5}
+    assert Registry.delta(new, None) == new

@@ -1,0 +1,77 @@
+"""LatencyRecorder percentiles, caching, and ResultTable normalization."""
+
+import numpy as np
+
+from repro.metrics.stats import LatencyRecorder, ResultTable
+
+
+def test_empty_recorder_is_all_zeros():
+    lat = LatencyRecorder()
+    assert len(lat) == 0
+    assert lat.mean == 0.0
+    assert lat.p50 == 0.0
+    assert lat.p99 == 0.0
+    assert lat.p999 == 0.0
+    assert lat.max == 0.0
+    assert lat.summary() == {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
+    }
+
+
+def test_percentiles_match_numpy():
+    lat = LatencyRecorder()
+    samples = [((i * 7919) % 1000) * 1e-6 for i in range(1000)]
+    for s in samples:
+        lat.add(s)
+    arr = np.asarray(samples)
+    for q, got in ((50, lat.p50), (99, lat.p99), (99.9, lat.p999)):
+        assert got == float(np.percentile(arr, q))
+    assert lat.max == max(samples)
+    assert abs(lat.mean - arr.mean()) < 1e-15
+
+
+def test_single_sample():
+    lat = LatencyRecorder()
+    lat.add(3e-6)
+    assert lat.p50 == lat.p99 == lat.p999 == lat.max == 3e-6
+
+
+def test_add_invalidates_sorted_cache():
+    lat = LatencyRecorder()
+    lat.add(5e-6)
+    assert lat.p99 == 5e-6  # forces the sort + cache
+    lat.add(1e-6)  # smaller sample lands after the cached sort
+    assert lat.p50 == 3e-6
+    assert lat.max == 5e-6
+    lat.add(9e-6)
+    assert lat.max == 9e-6
+
+
+def test_summary_keys_and_ordering():
+    lat = LatencyRecorder()
+    for v in (4e-6, 1e-6, 8e-6, 2e-6):
+        lat.add(v)
+    s = lat.summary()
+    assert s["count"] == 4
+    assert s["p50"] <= s["p99"] <= s["p999"] <= s["max"] == 8e-6
+
+
+def test_result_table_normalizes_numpy_scalars():
+    t = ResultTable("t", ["a", "b", "c"])
+    t.add_row(np.float32(1.23456789), np.int64(7), np.float64(2.5))
+    a, b, c = t.rows[0]
+    assert type(a) is float and type(b) is int and type(c) is float
+    rendered = t.render()
+    # float formatting (%.4g) must apply to values that arrived as numpy
+    assert "1.235" in rendered
+    assert "2.5" in rendered
+
+
+def test_result_table_rejects_wrong_arity():
+    t = ResultTable("t", ["a", "b"])
+    try:
+        t.add_row(1)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,241 @@
+"""Span tracer semantics, Perfetto export validity, and e2e trace trees."""
+
+from repro.core.testbeds import build_dpc_system, build_raw_transport
+from repro.host.adapters import O_DIRECT
+from repro.host.vfs import O_CREAT
+from repro.obsv import disable_tracing, enable_tracing
+from repro.obsv.export import to_chrome_trace, validate_trace, write_trace_multi
+from repro.obsv.report import layer_breakdown
+from repro.obsv.tracer import NULL_TRACER, Tracer
+from repro.sim.core import Environment
+
+
+# ---------------------------------------------------------------------------
+# tracer unit semantics
+# ---------------------------------------------------------------------------
+
+def test_null_tracer_is_inert():
+    sp = NULL_TRACER.span("x", track="host", foo=1)
+    with sp as s:
+        s.set(bar=2).reparent(None)
+    NULL_TRACER.instant("i")
+    NULL_TRACER.handoff(("k",))
+    assert NULL_TRACER.adopt(("k",)) is None
+    assert NULL_TRACER.spans == [] and NULL_TRACER.instants == []
+    assert not NULL_TRACER.enabled
+
+
+def test_span_nesting_and_attrs():
+    env = Environment(seed=1)
+    tr = Tracer(env)
+
+    def flow():
+        with tr.span("outer", track="host"):
+            yield env.timeout(1e-6)
+            with tr.span("inner", track="dpu", qid=3) as sp:
+                yield env.timeout(2e-6)
+                sp.set(hit=True)
+
+    env.run(until=env.process(flow()))
+    inner, outer = tr.spans  # completion order
+    assert inner.name == "inner" and outer.name == "outer"
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert inner.attrs == {"qid": 3, "hit": True}
+    assert abs(inner.duration - 2e-6) < 1e-12
+    assert abs(outer.duration - 3e-6) < 1e-12
+
+
+def test_concurrent_processes_do_not_share_stacks():
+    env = Environment(seed=1)
+    tr = Tracer(env)
+
+    def worker(name, delay):
+        with tr.span(name, track="client", parent=None):
+            yield env.timeout(delay)
+            with tr.span(f"{name}-child", track="net"):
+                yield env.timeout(delay)
+
+    procs = [env.process(worker(f"w{i}", (i + 1) * 1e-6)) for i in range(3)]
+    env.run(until=env.all_of(procs))
+    by_name = {s.name: s for s in tr.spans}
+    for i in range(3):
+        assert by_name[f"w{i}-child"].parent_id == by_name[f"w{i}"].span_id
+
+
+def test_handoff_adopt_is_one_shot():
+    env = Environment(seed=1)
+    tr = Tracer(env)
+
+    def flow():
+        with tr.span("producer", track="host") as sp:
+            tr.handoff(("q", 7))
+            yield env.timeout(1e-6)
+        adopted = tr.adopt(("q", 7))
+        assert adopted is sp
+        assert tr.adopt(("q", 7)) is None
+
+    env.run(until=env.process(flow()))
+
+
+def test_bind_seeds_spawned_process_stack():
+    env = Environment(seed=1)
+    tr = Tracer(env)
+
+    def child():
+        with tr.span("child", track="net"):
+            yield env.timeout(1e-6)
+
+    def parent():
+        with tr.span("parent", track="dfs", parent=None):
+            procs = [env.process(child()) for _ in range(2)]
+            for p in procs:
+                tr.bind(p)
+            yield env.all_of(procs)
+
+    env.run(until=env.process(parent()))
+    parent_span = next(s for s in tr.spans if s.name == "parent")
+    kids = [s for s in tr.spans if s.name == "child"]
+    assert len(kids) == 2
+    assert all(k.parent_id == parent_span.span_id for k in kids)
+
+
+def test_signature_stamps_everything():
+    env = Environment(seed=1)
+    tr = Tracer(env)
+
+    def flow():
+        with tr.span("a", track="host"):
+            yield env.timeout(1e-6)
+        tr.instant("tick", track="pcie", tag="x")
+
+    env.run(until=env.process(flow()))
+    spans, inst = tr.signature()
+    assert len(spans) == 1 and len(inst) == 1
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: one traced 4 KiB write through the full DPC stack
+# ---------------------------------------------------------------------------
+
+def _traced_write(with_dfs: bool):
+    sys = build_dpc_system(with_dfs=with_dfs, trace=True)
+    path = "/dfs/f" if with_dfs else "/kvfs/f"
+
+    def flow():
+        f = yield from sys.vfs.open(path, O_CREAT | O_DIRECT)
+        with sys.tracer.span("op", track="client", parent=None):
+            yield from sys.vfs.write(f, 0, b"\x5a" * 4096)
+
+    sys.run_until(flow())
+    return sys
+
+
+def test_traced_write_produces_connected_multilayer_tree():
+    sys = _traced_write(with_dfs=True)
+    tr = sys.tracer
+    op = next(s for s in tr.spans if s.name == "op")
+    children = tr.children_index()
+    reachable_tracks = set()
+    stack = [op.span_id]
+    nodes = 0
+    while stack:
+        sid = stack.pop()
+        nodes += 1
+        sp = next(s for s in tr.spans if s.span_id == sid)
+        reachable_tracks.add(sp.track)
+        stack.extend(c.span_id for c in children.get(sid, ()))
+    # one write crosses at least: client, host, transport, dpu, dfs, net
+    assert len(reachable_tracks) >= 4, reachable_tracks
+    assert {"client", "host", "transport", "dpu"} <= reachable_tracks
+    assert nodes >= 5
+
+
+def test_traced_write_chrome_trace_is_schema_valid():
+    sys = _traced_write(with_dfs=True)
+    events = to_chrome_trace(sys.tracer)
+    assert validate_trace(events) == []
+    # doorbell/interrupt instants made it onto the pcie track
+    names = {e["name"] for e in events if e["ph"] == "i"}
+    assert "doorbell" in names and "interrupt" in names
+
+
+def test_layer_breakdown_reconciles_with_e2e():
+    sys = _traced_write(with_dfs=True)
+    bd = layer_breakdown(sys.tracer)
+    assert bd["ops"] == 1
+    assert bd["e2e"] > 0
+    total = sum(bd["by_track"].values())
+    assert abs(total - bd["e2e"]) <= 0.01 * bd["e2e"]
+
+
+def test_tracing_does_not_perturb_simulated_time():
+    def run(trace):
+        sys = build_dpc_system(with_dfs=False, trace=trace)
+
+        def flow():
+            f = yield from sys.vfs.open("/kvfs/f", O_CREAT | O_DIRECT)
+            for i in range(4):
+                yield from sys.vfs.write(f, i * 4096, b"\x5a" * 4096)
+
+        sys.run_until(flow())
+        return sys.env.now
+
+    assert run(False) == run(True)
+
+
+# ---------------------------------------------------------------------------
+# determinism + registry equivalence
+# ---------------------------------------------------------------------------
+
+def _fig9_signatures():
+    from repro.experiments.fig9_dfs import run_case
+
+    ctx = enable_tracing()
+    try:
+        run_case("dpc", "rnd-wr", nthreads=2, ops_per_thread=3)
+        return [t.signature() for t in ctx.tracers()]
+    finally:
+        disable_tracing()
+
+
+def test_same_seed_fig9_runs_emit_identical_trace_signatures():
+    s1 = _fig9_signatures()
+    s2 = _fig9_signatures()
+    assert s1 and s1 == s2
+
+
+def test_registry_matches_hot_path_stats():
+    rig = build_raw_transport("nvme-fs")
+
+    def flow():
+        yield from rig.adapter.write(1, 0, b"\x5a" * 8192, 0)
+
+    rig.run_until(flow())
+    snap = rig.registry.snapshot()
+    s = rig.link.stats
+    assert snap["pcie.ops"] == s.ops()
+    assert snap["pcie.doorbells"] == s.doorbells
+    assert snap["pcie.interrupts"] == s.interrupts
+    assert snap["cpu.host.cores"] == rig.host_cpu.cores
+    assert snap["cpu.host.busy"] == rig.host_cpu.busy_seconds
+    for tag, n in s.by_tag.items():
+        assert snap[f"pcie.by_tag.{tag}"] == n
+
+
+def test_write_trace_multi_keeps_pid_namespaces(tmp_path):
+    import json
+
+    ctx = enable_tracing()
+    try:
+        _traced_write(with_dfs=False)
+        sys2 = _traced_write(with_dfs=False)
+        assert sys2.tracer in ctx.tracers()
+        traced = [(n, t) for n, t, _ in ctx.systems]
+        path = tmp_path / "trace.json"
+        events = write_trace_multi(traced, path)
+        assert validate_trace(events) == []
+        assert validate_trace(json.loads(path.read_text())) == []
+        assert {e["pid"] for e in events if e["ph"] == "X"} == {1, 2}
+    finally:
+        disable_tracing()
