@@ -1,0 +1,45 @@
+"""Bench: multi-client scale-out — aggregate throughput vs cluster size.
+
+Asserts the shape claims: aggregate IOPS grows monotonically from one to
+four DPC clients against the shared backend, per-op latency stays sane,
+and the sweep records a saturation point.  Results land in
+``results/BENCH_scaleout.json``.
+"""
+
+from repro.experiments import scaleout
+
+
+def test_scaleout_sweep(once, bench_json):
+    points = once(scaleout.run, hosts=(1, 2, 4), nthreads=6, ops_per_thread=15)
+    print()
+    print(scaleout.table(points).render())
+    by_n = {p["n_hosts"]: p for p in points}
+
+    for p in points:
+        n = p["n_hosts"]
+        bench_json("scaleout", f"n{n}/aggregate_iops", round(p["aggregate_iops"], 1))
+        bench_json("scaleout", f"n{n}/lat_p50_us", round(p["lat_p50_us"], 2))
+        bench_json("scaleout", f"n{n}/lat_p99_us", round(p["lat_p99_us"], 2))
+        bench_json("scaleout", f"n{n}/kv_queue_wait_us", round(p["kv_queue_wait_us"], 1))
+        bench_json("scaleout", f"n{n}/errors", p["errors"])
+    bench_json("scaleout", "saturation_n_hosts", scaleout.saturation_point(points))
+
+    # No ops may fail on any cluster size.
+    assert all(p["errors"] == 0 for p in points)
+
+    # Aggregate throughput grows monotonically 1 -> 2 -> 4 clients ...
+    assert by_n[2]["aggregate_iops"] > by_n[1]["aggregate_iops"]
+    assert by_n[4]["aggregate_iops"] > by_n[2]["aggregate_iops"]
+    # ... and each doubling buys a real improvement (>1.4x) while the
+    # shared backend has headroom.
+    assert by_n[2]["aggregate_iops"] > 1.4 * by_n[1]["aggregate_iops"]
+    assert by_n[4]["aggregate_iops"] > 1.4 * by_n[2]["aggregate_iops"]
+
+    # Every node contributes: per-node rates are within 2x of each other.
+    for p in points:
+        rates = p["per_node_iops"]
+        assert max(rates) < 2.0 * min(rates)
+
+    # Median latency must not blow up with cluster size (shared-backend
+    # queueing shows in the tail first).
+    assert by_n[4]["lat_p50_us"] < 3.0 * by_n[1]["lat_p50_us"]

@@ -161,6 +161,8 @@ class CacheControlPlane:
         self.flushed_pages = 0
         self.evictions = 0
         self.prefetched_pages = 0
+        #: pages dropped by delegation-recall coherence invalidations
+        self.invalidations = 0
         # ---- shards ------------------------------------------------------
         nshards = max(1, min(params.cache_ctrl_shards, layout.buckets))
         per = (layout.buckets + nshards - 1) // nshards
@@ -540,6 +542,95 @@ class CacheControlPlane:
             self.evictions += 1
             return True
         return False
+
+    # ------------------------------------------------------------------ coherence
+    def invalidate_inode(self, inode: int) -> Generator[Event, None, int]:
+        """Flush-and-drop every cached page of ``inode`` (delegation recall).
+
+        Cross-client coherence: when the MDS recalls this node's delegation
+        on a file, pages cached under the old delegation must not serve
+        future reads.  Dirty pages are written back first — the recalled
+        owner's data lands in the backend *before* the contender's writes —
+        then every matching entry is freed evict-style (write-lock, status
+        ST_FREE, free-count bump).  Stale DIF tags for the inode are dropped
+        with the pages.
+
+        Each shard's whole entry array is scanned in one burst DMA and the
+        shards sweep in parallel, so the recall ack fits comfortably inside
+        the MDS's ``deleg_recall_timeout`` deadline.  Returns the number of
+        pages dropped.
+        """
+        counts = yield from self._parallel(
+            [self._invalidate_shard(shard, inode) for shard in self._shards]
+        )
+        dropped = sum(counts)
+        if self.dif_enabled:
+            for key in [k for k in self._dif if k[0] == inode]:
+                del self._dif[key]
+        self.invalidations += dropped
+        return dropped
+
+    def _invalidate_shard(self, shard: _Shard, inode: int) -> Generator[Event, None, int]:
+        lay = self.layout
+        epb = lay.entries_per_bucket
+        first = shard.lo * epb
+        count = (shard.hi - shard.lo) * epb
+        dropped = 0
+        for _attempt in range(6):
+            # Entries are laid out contiguously by index: the shard's whole
+            # metadata range is one burst read, not one DMA per bucket.
+            raw = yield from self.link.dma_read(
+                lay.entry_addr(first), count * ENTRY_SIZE, tag="meta-scan"
+            )
+            if count > 1:
+                self.link.stats.record_burst("meta-scan", count)
+            mine = []
+            for j in range(count):
+                e = _unpack_entry(raw, j * ENTRY_SIZE)
+                if e["inode"] == inode and e["status"] in (ST_CLEAN, ST_DIRTY):
+                    mine.append((first + j, e))
+            if not mine:
+                break
+            dirty = sorted(idx for idx, e in mine if e["status"] == ST_DIRTY)
+            if dirty:
+                yield from self._flush_entries(dirty)
+            outcomes = yield from self._parallel(
+                [self._invalidate_entry(idx, inode) for idx, _e in mine]
+            )
+            dropped += sum(1 for o in outcomes if o == "freed")
+            if "retry" not in outcomes:
+                break
+            # A host write or concurrent flusher is racing us: back off and
+            # rescan the shard range.
+            yield self.env.timeout(5e-6)
+        return dropped
+
+    def _invalidate_entry(self, idx: int, inode: int) -> Generator[Event, None, str]:
+        """Free one entry if it still caches ``inode``; evict-style."""
+        ent = yield from self._dma_read_entry(idx)
+        if ent["inode"] != inode or ent["status"] not in (ST_CLEAN, ST_DIRTY):
+            return "gone"
+        if ent["status"] == ST_DIRTY:
+            return "retry"  # flush raced a host write or was breaker-skipped
+        ok = yield from self.link.atomic_cas_u32(
+            self.layout.lock_addr(idx), LOCK_FREE, LOCK_WRITE, tag="lock-cas"
+        )
+        if not ok:
+            return "retry"
+        yield from self.link.dma_write(
+            self.layout.entry_addr(idx) + 4,
+            ST_FREE.to_bytes(4, "little"),
+            tag="evict-status",
+        )
+        yield from self.link.atomic_faa_u32(
+            self.layout.free_count_addr, 1, tag="free-count"
+        )
+        yield from self.link.atomic_cas_u32(
+            self.layout.lock_addr(idx), LOCK_WRITE, LOCK_FREE, tag="lock-cas"
+        )
+        self._policy_of_idx(idx).forget(idx)
+        self._shadow.pop(idx, None)
+        return "freed"
 
     # ------------------------------------------------------------------ read-ahead dispatch
     def _dispatch_readahead(self, inode: int, lpn: int) -> None:

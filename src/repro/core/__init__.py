@@ -26,14 +26,28 @@ from .testbeds import (
     build_host_dfs_clients,
     build_raw_transport,
 )
+from .topology import (
+    Cluster,
+    ClusterNode,
+    DpuNode,
+    HostNode,
+    build_cluster,
+    node_endpoint,
+)
 
 __all__ = [
     "DpcSystem",
     "Ext4System",
     "HostDfsTestbed",
     "RawTransport",
+    "Cluster",
+    "ClusterNode",
+    "DpuNode",
+    "HostNode",
     "build_dpc_system",
     "build_ext4_system",
     "build_host_dfs_clients",
     "build_raw_transport",
+    "build_cluster",
+    "node_endpoint",
 ]

@@ -12,11 +12,15 @@ and example in this repository) starts from:
   virtual client (the Figure 6 microbenchmark rig).
 * :func:`build_host_dfs_clients` — standard + optimized host fs-clients on
   a shared DFS backend (Figures 1 and 9 baselines).
+
+``build_dpc_system`` is the ``n_hosts=1`` case of the cluster topology in
+:mod:`repro.core.topology`; multi-client deployments come from
+:func:`repro.core.topology.build_cluster`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..cache.control import CacheControlPlane
@@ -29,9 +33,7 @@ from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
 from ..host.adapters import Ext4Adapter
 from ..host.fsadapter import DpcAdapter, DpfsAdapter
 from ..host.vfs import Vfs
-from ..kv.client import KvClient
 from ..kv.server import KvCluster
-from ..kvfs import schema as kvfs_schema
 from ..kvfs.fs import Kvfs
 from ..localfs.ext4sim import Ext4Fs
 from ..obsv import get_context
@@ -39,7 +41,6 @@ from ..obsv.metrics import Registry
 from ..obsv.tracer import Tracer
 from ..params import SystemParams, default_params
 from ..proto.nvme.ini import NvmeFsInitiator
-from ..proto.nvme.sqe import ReqType
 from ..proto.nvme.tgt import NvmeFsTarget
 from ..proto.virtio.virtiofs import DpfsHal, VirtioFsHost
 from ..sim.core import Environment
@@ -48,6 +49,21 @@ from ..sim.memory import MemoryArena
 from ..sim.network import Fabric
 from ..sim.nvme_device import NvmeSsd
 from ..sim.pcie import PcieLink
+from .topology import (
+    ROLE_OPT_CLIENT,
+    ROLE_STD_CLIENT,
+    Cluster,
+    _attach_tracer,
+    _collect_cpu,
+    _collect_dfs,
+    _collect_fault,
+    _collect_nvme,
+    _collect_pcie,
+    _dpu_cpu,
+    _host_cpu,
+    build_cluster,
+    node_endpoint,
+)
 
 __all__ = [
     "DpcSystem",
@@ -59,176 +75,6 @@ __all__ = [
     "build_raw_transport",
     "build_host_dfs_clients",
 ]
-
-
-def _host_cpu(env: Environment, p: SystemParams) -> CpuPool:
-    return CpuPool(env, p.host_cores, name="host", switch_cost=p.host_switch_cost)
-
-
-def _dpu_cpu(env: Environment, p: SystemParams) -> CpuPool:
-    return CpuPool(
-        env, p.dpu_cores, name="dpu", perf=p.dpu_perf, switch_cost=p.dpu_switch_cost
-    )
-
-
-# -- observability wiring ---------------------------------------------------------
-#
-# Each builder creates one Registry and hangs *collectors* on it: zero-arg
-# closures that read the existing hot-path stats objects at snapshot time.
-# The hot paths keep their plain attribute increments — nothing about the
-# simulation changes — but every experiment reads through the registry.
-
-
-def _collect_cpu(pool: CpuPool):
-    def fn() -> dict:
-        out = {
-            f"cpu.{pool.name}.busy": pool.busy_seconds,
-            f"cpu.{pool.name}.cores": pool.cores,
-            f"cpu.{pool.name}.window_cores": pool.window_cores_used(),
-        }
-        for tag, busy in pool.busy_by_tag.items():
-            out[f"cpu.{pool.name}.busy.{tag}"] = busy
-        return out
-
-    return fn
-
-
-def _collect_pcie(link: PcieLink):
-    def fn() -> dict:
-        s = link.stats
-        out = {
-            "pcie.reads": s.reads,
-            "pcie.writes": s.writes,
-            "pcie.atomics": s.atomics,
-            "pcie.doorbells": s.doorbells,
-            "pcie.interrupts": s.interrupts,
-            "pcie.bytes_read": s.bytes_read,
-            "pcie.bytes_written": s.bytes_written,
-            "pcie.ops": s.ops(),
-            "pcie.control_tlps": s.control_tlps(),
-        }
-        for tag, n in s.by_tag.items():
-            out[f"pcie.by_tag.{tag}"] = n
-        for tag, (txns, entries) in s.burst_by_tag.items():
-            out[f"pcie.burst.{tag}.txns"] = txns
-            out[f"pcie.burst.{tag}.entries"] = entries
-        return out
-
-    return fn
-
-
-def _collect_cache(cache_host: HostCachePlane):
-    def fn() -> dict:
-        s = cache_host.stats
-        return {
-            "cache.read_hits": s.read_hits,
-            "cache.read_misses": s.read_misses,
-            "cache.write_hits": s.write_hits,
-            "cache.write_inserts": s.write_inserts,
-            "cache.evict_waits": s.evict_waits,
-            "cache.seqlock_hits": s.seqlock_hits,
-            "cache.seqlock_retries": s.seqlock_retries,
-            "cache.seqlock_fallbacks": s.seqlock_fallbacks,
-            "cache.read_atomics": s.read_atomics,
-            "cache.hit_rate": s.hit_rate(),
-            "cache.atomics_per_hit": s.atomics_per_hit(),
-        }
-
-    return fn
-
-
-def _collect_kv(cluster: KvCluster, client: KvClient):
-    def fn() -> dict:
-        out = {
-            "kv.client.ops_issued": client.ops_issued,
-            "kv.client.retries": client.retries,
-            "kv.client.timeouts_exhausted": client.timeouts_exhausted,
-        }
-        for key in (
-            "puts",
-            "gets",
-            "deletes",
-            "scans",
-            "flushes",
-            "compactions",
-            "bytes_flushed",
-            "bytes_compacted",
-        ):
-            out[f"kv.engine.{key}"] = sum(
-                getattr(sh.engine.stats, key) for sh in cluster.shards
-            )
-        return out
-
-    return fn
-
-
-def _collect_nvme(ini: NvmeFsInitiator, tgt: NvmeFsTarget):
-    def fn() -> dict:
-        return {
-            "nvme.transient_retries": ini.transient_retries,
-            "nvme.commands_processed": tgt.commands_processed,
-        }
-
-    return fn
-
-
-def _collect_dispatch(dispatch: IoDispatch):
-    def fn() -> dict:
-        return {
-            "dispatch.standalone_ops": dispatch.standalone_ops,
-            "dispatch.distributed_ops": dispatch.distributed_ops,
-        }
-
-    return fn
-
-
-def _collect_dfs(prefix: str, client):
-    stripeio = getattr(client, "stripeio", None)
-
-    def fn() -> dict:
-        out = {
-            f"{prefix}.ops": client.ops,
-            f"{prefix}.retries": client.retries,
-            f"{prefix}.timeouts_exhausted": client.timeouts_exhausted,
-        }
-        if hasattr(client, "deleg_hits"):
-            out[f"{prefix}.deleg_hits"] = client.deleg_hits
-        if stripeio is not None:
-            out[f"{prefix}.stripe.units_read"] = stripeio.units_read
-            out[f"{prefix}.stripe.units_written"] = stripeio.units_written
-            out[f"{prefix}.stripe.retries"] = stripeio.retries
-            out[f"{prefix}.stripe.degraded_stripes"] = stripeio.degraded_stripes
-            out[f"{prefix}.stripe.rebuilt_units"] = stripeio.rebuilt_units
-        return out
-
-    return fn
-
-
-def _collect_fault(plane: FaultPlane):
-    def fn() -> dict:
-        out = {"fault.events": len(plane.trace)}
-        for kind, n in plane.counts().items():
-            out[f"fault.kind.{kind}"] = n
-        return out
-
-    return fn
-
-
-def _attach_tracer(env: Environment, trace: Optional[bool], components) -> Optional[Tracer]:
-    """Give every instrumented component a live tracer when tracing is on.
-
-    ``trace=None`` defers to the process-wide context (``REPRO_TRACE=1`` or
-    :func:`repro.obsv.enable_tracing`); the default off path leaves the
-    class-level ``NULL_TRACER`` in place everywhere.
-    """
-    enabled = get_context().enabled if trace is None else trace
-    if not enabled:
-        return None
-    tracer = Tracer(env)
-    for c in components:
-        if c is not None:
-            c.tracer = tracer
-    return tracer
 
 
 @dataclass
@@ -260,6 +106,9 @@ class DpcSystem:
     breaker: Optional[CircuitBreaker] = None
     registry: Optional[Registry] = None
     tracer: Optional[Tracer] = None
+    #: the single-node :class:`~repro.core.topology.Cluster` this system is
+    #: a view of (node 0); gives legacy callers access to the topology API
+    cluster: Optional[Cluster] = None
 
     def run_until(self, gen):
         """Drive one simulation process to completion; return its value."""
@@ -281,153 +130,48 @@ def build_dpc_system(
     until a fault schedule is scripted onto it.  Retry policies follow
     ``params.rpc_timeout``: the default 0 keeps every client on the
     fail-free fast path.
-    """
-    p = params or default_params()
-    env = Environment(seed=p.seed)
-    plane = FaultPlane(env)
-    retry = retry_policy_from(p)
-    host_cpu = _host_cpu(env, p)
-    dpu_cpu = _dpu_cpu(env, p)
-    arena = MemoryArena(p.host_arena_bytes)
-    link = PcieLink(
-        env, arena, latency=p.pcie_latency, bandwidth=p.pcie_bandwidth, engines=p.pcie_engines
-    )
-    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
-    fabric.fault_plane = plane
-    # Disaggregated backends (the DPU's fabric endpoint is "dpc").
-    kv_cluster = KvCluster(env, fabric, p)
-    fabric.attach("dpc")
-    kv_client = KvClient(
-        fabric,
-        "dpc",
-        kv_cluster.shard_names(),
-        route_fn=kvfs_schema.routing_key,
-        scan_route_fn=kvfs_schema.scan_routing,
-        retry=retry,
-        plane=plane,
-    )
-    kvfs = Kvfs(env, kv_client, dpu_cpu, p)
-    mds = dataservers = layout = dfs_client = None
-    if with_dfs:
-        mds, dataservers, layout = build_dfs(env, fabric, p)
-        dfs_client = OffloadedDfsClient(
-            env,
-            fabric,
-            "dpc",
-            p.n_mds,
-            layout,
-            dpu_cpu,
-            p,
-            cpu_read=p.dpc_dfs_cpu_read,
-            cpu_write=p.dpc_dfs_cpu_write,
-            ec_scale=0.3,  # hardware-assisted EC on the DPU
-            cpu_tag="dpc-dfs",
-            retry=retry,
-            plane=plane,
-        )
-    # nvme-fs transport.
-    ini = NvmeFsInitiator(env, arena, link, host_cpu, p, num_queues=num_queues)
-    # Hybrid cache.
-    cache_layout = cache_host = cache_ctrl = breaker = None
-    dispatch = IoDispatch(env, dpu_cpu, p, kvfs=kvfs, dfs_client=dfs_client)
-    if with_cache:
-        from ..sim.resources import Store
 
-        cache_layout = CacheLayout(
-            arena, p.cache_pages, p.cache_page_size, p.cache_buckets
-        )
-        mailbox = Store(env)
-        cache_host = HostCachePlane(env, cache_layout, host_cpu, p, mailbox)
-        breaker = CircuitBreaker(
-            env, p.breaker_failures, p.breaker_reset, name="cache-wb", plane=plane
-        )
-        cache_ctrl = CacheControlPlane(
-            env,
-            link,
-            dpu_cpu,
-            p,
-            cache_layout,
-            mailbox,
-            writeback=dispatch.cache_writeback,
-            fetch=dispatch.cache_fetch,
-            prefetch_enabled=prefetch,
-            fetch_run=dispatch.cache_fetch_run,
-            breaker=breaker,
-        )
-        dispatch.cache_ctrl = cache_ctrl
-    tgt = NvmeFsTarget(env, link, dpu_cpu, p, ini.queues, dispatch.backend)
-    tgt.fault_plane = plane
-    # Host VFS with the fs-adapter mounts.
-    vfs = Vfs(env, host_cpu, p)
-    kvfs_adapter = DpcAdapter(
-        env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.STANDALONE,
-        breaker=breaker,
+    This is the ``n_hosts=1`` case of :func:`repro.core.topology.build_cluster`
+    — same construction order, same endpoint names, bit-identical seeded
+    behaviour — repackaged in the flat legacy :class:`DpcSystem` shape.
+    """
+    cluster = build_cluster(
+        n_hosts=1,
+        params=params,
+        with_dfs=with_dfs,
+        with_cache=with_cache,
+        prefetch=prefetch,
+        num_queues=num_queues,
+        trace=trace,
     )
-    vfs.mount("/kvfs", kvfs_adapter)
-    dfs_adapter = None
-    if with_dfs:
-        dfs_adapter = DpcAdapter(
-            env, ini, host_cpu, p, cache=cache_host, req_type=ReqType.DISTRIBUTED,
-            breaker=breaker,
-        )
-        vfs.mount("/dfs", dfs_adapter)
-    registry = Registry("dpc")
-    registry.collect(_collect_cpu(host_cpu))
-    registry.collect(_collect_cpu(dpu_cpu))
-    registry.collect(_collect_pcie(link))
-    registry.collect(_collect_kv(kv_cluster, kv_client))
-    registry.collect(_collect_nvme(ini, tgt))
-    registry.collect(_collect_dispatch(dispatch))
-    registry.collect(_collect_fault(plane))
-    if cache_host is not None:
-        registry.collect(_collect_cache(cache_host))
-    if dfs_client is not None:
-        registry.collect(_collect_dfs("dfs", dfs_client))
-    tracer = _attach_tracer(
-        env,
-        trace,
-        [
-            link,
-            plane,
-            ini,
-            tgt,
-            dispatch,
-            cache_host,
-            cache_ctrl,
-            kv_client,
-            kvfs_adapter,
-            dfs_adapter,
-            dfs_client,
-            getattr(dfs_client, "stripeio", None),
-        ],
-    )
-    get_context().register("dpc", tracer, registry)
+    node = cluster.nodes[0]
     return DpcSystem(
-        env=env,
-        params=p,
-        host_cpu=host_cpu,
-        dpu_cpu=dpu_cpu,
-        arena=arena,
-        link=link,
-        fabric=fabric,
-        kv_cluster=kv_cluster,
-        kvfs=kvfs,
-        ini=ini,
-        tgt=tgt,
-        dispatch=dispatch,
-        vfs=vfs,
-        kvfs_adapter=kvfs_adapter,
-        cache_layout=cache_layout,
-        cache_host=cache_host,
-        cache_ctrl=cache_ctrl,
-        mds=mds,
-        dataservers=dataservers,
-        dfs_client=dfs_client,
-        dfs_adapter=dfs_adapter,
-        fault_plane=plane,
-        breaker=breaker,
-        registry=registry,
-        tracer=tracer,
+        env=cluster.env,
+        params=cluster.params,
+        host_cpu=node.host.cpu,
+        dpu_cpu=node.dpu.cpu,
+        arena=node.host.arena,
+        link=node.host.link,
+        fabric=cluster.fabric,
+        kv_cluster=cluster.kv_cluster,
+        kvfs=node.dpu.kvfs,
+        ini=node.host.ini,
+        tgt=node.dpu.tgt,
+        dispatch=node.dpu.dispatch,
+        vfs=node.host.vfs,
+        kvfs_adapter=node.host.kvfs_adapter,
+        cache_layout=node.host.cache_layout,
+        cache_host=node.host.cache_host,
+        cache_ctrl=node.dpu.cache_ctrl,
+        mds=cluster.mds,
+        dataservers=cluster.dataservers,
+        dfs_client=node.dpu.dfs_client,
+        dfs_adapter=node.host.dfs_adapter,
+        fault_plane=cluster.fault_plane,
+        breaker=node.dpu.breaker,
+        registry=node.registry,
+        tracer=node.tracer,
+        cluster=cluster,
     )
 
 
@@ -576,15 +320,17 @@ def build_host_dfs_clients(
     fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
     fabric.fault_plane = plane
     mds, dataservers, layout = build_dfs(env, fabric, p)
-    fabric.attach("std-client")
-    fabric.attach("opt-client")
+    std_ep = node_endpoint(ROLE_STD_CLIENT, 0)
+    opt_ep = node_endpoint(ROLE_OPT_CLIENT, 0)
+    fabric.attach(std_ep)
+    fabric.attach(opt_ep)
     std = StandardNfsClient(
-        env, fabric, "std-client", p.n_mds, host_cpu, p, retry=retry, plane=plane
+        env, fabric, std_ep, p.n_mds, host_cpu, p, retry=retry, plane=plane
     )
     opt = OffloadedDfsClient(
         env,
         fabric,
-        "opt-client",
+        opt_ep,
         p.n_mds,
         layout,
         host_cpu,

@@ -294,6 +294,18 @@ class OffloadedDfsClient(_FailureAwareRpc):
         self._attr_cache: dict[int, FileAttr] = {}
         self.ops = 0
         self.deleg_hits = 0
+        #: cross-client coherence hook: ``cache_invalidate(ino)`` is a
+        #: generator that flushes and drops this node's cached pages for the
+        #: inode (the cluster builder wires it to
+        #: ``IoDispatch.invalidate_dfs_file``); None for cache-less clients
+        self.cache_invalidate = None
+        self.recalls_served = 0
+        # Serve MDS delegation recalls on this client's fabric endpoint.
+        # RPC replies travel over per-call mailboxes, so the endpoint inbox
+        # is otherwise idle; the listener parks on a get() immediately and
+        # never perturbs seeded runs where no recall fires.
+        if src in fabric.endpoints:
+            env.process(self._serve_recalls(), name=f"{src}-recall")
 
     # -- cost hooks ---------------------------------------------------------------
     def _charge(
@@ -457,6 +469,45 @@ class OffloadedDfsClient(_FailureAwareRpc):
             self._file_deleg.add(ino)
             return True
         return False
+
+    # -- delegation recalls (cross-client coherence) -----------------------------------
+    def _serve_recalls(self) -> Generator[Event, None, None]:
+        inbox = self.fabric.endpoint(self.src).inbox
+        while True:
+            msg = yield inbox.get()
+            op = msg.payload
+            if not (isinstance(op, tuple) and op and op[0] == "deleg_recall"):
+                continue  # nothing else targets a client inbox; drop
+            self.env.process(
+                self._handle_recall(msg), name=f"{self.src}-recall-req"
+            )
+
+    def _handle_recall(self, msg) -> Generator[Event, None, None]:
+        """Serve one MDS recall: push pending state, drop cached views.
+
+        A *dir* recall commits the batched creates and surrenders the lease;
+        a *file* recall pushes the lazy size, forgets the delegation and
+        cached attrs, and — on a DPU-resident client — flushes and drops the
+        file's pages from the node's hybrid cache, so a subsequent read
+        refetches whatever the new delegation owner writes.
+        """
+        _, kind, ino = msg.payload
+        self.recalls_served += 1
+        if kind == "dir":
+            self._dir_lease.pop(ino, None)
+            yield from self._commit_creates(ino)
+        else:
+            self._file_deleg.discard(ino)
+            self._attr_cache.pop(ino, None)
+            size = self._dirty_sizes.pop(ino, None)
+            if size is not None:
+                yield from self._mds_call(
+                    self._home(ino), ("setsize", ino, size), MSG_OVERHEAD,
+                    mutating=True,
+                )
+            if self.cache_invalidate is not None:
+                yield from self.cache_invalidate(ino)
+        yield from self.fabric.reply(msg, "ok", MSG_OVERHEAD)
 
     # -- data ---------------------------------------------------------------------------
     def write(self, ino: int, offset: int, data: bytes) -> Generator[Event, None, int]:

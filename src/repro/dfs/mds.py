@@ -36,6 +36,7 @@ from typing import Generator, Optional
 
 from ..ec import StripeLayout
 from ..fault.idempotency import PENDING, IdempotencyFilter
+from ..fault.retry import RpcTimeout, call_with_timeout
 from ..params import SystemParams
 from ..proto.filemsg import FileAttr
 from ..sim.core import Environment, Event
@@ -240,7 +241,12 @@ class MdsServer:
                     return ("denied", []), MSG_OVERHEAD
                 # Lease expired: recall the stale grant from its (crashed or
                 # silent) owner and hand the delegation to the contender.
+                # The recall makes a live owner push pending state (batched
+                # creates, lazy sizes) and drop the inode from its hybrid
+                # cache (cross-client coherence); a dead owner costs at most
+                # the recall deadline — the expired lease is authoritative.
                 self.recalls += 1
+                yield from self._recall(key_kind, key_ino, entry[0])
             self.delegations[key] = (client, now + p.deleg_lease)
             lease = self._alloc_ino_range(64) if key_kind == "dir" else []
             return ("granted", lease), MSG_OVERHEAD
@@ -263,6 +269,26 @@ class MdsServer:
             data = yield from self.stripeio.read(ino, offset, length)
             return data, MSG_OVERHEAD + len(data)
         raise ValueError(f"unknown MDS op {kind!r}")
+
+    def _recall(self, kind: str, ino: int, owner: str) -> Generator[Event, None, None]:
+        """Synchronously recall a delegation from ``owner`` with a deadline.
+
+        The owner's client serves ``("deleg_recall", kind, ino)`` on its
+        fabric endpoint (see ``OffloadedDfsClient._serve_recalls``) and acks
+        once pending metadata is committed and cached pages are dropped.
+        """
+        if owner not in self.fabric.endpoints:
+            return  # owner never attached (or a test stub): nothing to recall
+        try:
+            yield from call_with_timeout(
+                self.env,
+                self.fabric.rpc(
+                    self.name, owner, ("deleg_recall", kind, ino), MSG_OVERHEAD
+                ),
+                self.params.deleg_recall_timeout,
+            )
+        except RpcTimeout:
+            pass  # owner crashed or unreachable; proceed on lease expiry
 
     def expire_client(self, client: str) -> int:
         """Force-revoke every delegation ``client`` holds (client failure).

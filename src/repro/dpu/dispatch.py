@@ -249,6 +249,21 @@ class IoDispatch:
                 name="demand-fill",
             )
 
+    def invalidate_dfs_file(self, ino: int) -> Generator:
+        """Coherence recall hook: flush-and-drop every cached page of a DFS
+        file whose delegation the MDS just recalled.
+
+        Another client is about to write the file; pages this node cached
+        under the old delegation must not serve future reads.  Returns the
+        number of pages dropped (0 without a cache).
+        """
+        if self.cache_ctrl is None:
+            yield from ()
+            return 0
+        tagged = (ino << 1) | 1
+        dropped = yield from self.cache_ctrl.invalidate_inode(tagged)
+        return dropped
+
     def cache_writeback(self, tagged_ino: int, lpn: int, data: bytes) -> Generator:
         """Hybrid-cache flusher hook: route the dirty page to its stack.
 

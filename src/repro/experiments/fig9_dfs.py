@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.testbeds import build_dpc_system, build_host_dfs_clients
+from ..core.topology import ROLE_DPC, node_endpoint
 from ..dfs.mds import DFS_ROOT_INO
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
@@ -37,6 +38,10 @@ FILE_SIZE = 8 * 1024 * 1024
 SEQ_CHUNK = 1 << 20
 
 CASES = ("rnd-rd", "rnd-wr", "smallfile-rd", "create-wr", "seq-rd", "seq-wr")
+
+#: the DPC client column is named after node 0's endpoint identity, so the
+#: report CLI and experiment tables agree with Cluster registry names
+DPC = node_endpoint(ROLE_DPC, 0)
 
 
 def _rand_off(tid: int, j: int) -> int:
@@ -207,7 +212,7 @@ def run_case(
     params: Optional[SystemParams] = None,
 ) -> dict:
     """One (client, workload) cell -> iops/bandwidth + host cores."""
-    if client == "dpc":
+    if client == DPC:
         driver = _DpcDriver(params)
     else:
         driver = _HostClientDriver(client, params)
@@ -221,7 +226,7 @@ def run_case(
     if case == "smallfile-rd":
         smallfiles = driver.prep_smallfiles(128)
     if case == "create-wr":
-        if client == "dpc":
+        if client == DPC:
             def mk():
                 for t in range(nthreads):
                     yield from driver.sys.vfs.mkdir(f"/dfs/dir{t}")
@@ -261,7 +266,7 @@ def run(
         ["case", "client", "iops_or_GBs", "host_cores"],
     )
     for case in cases:
-        for client in ("std", "opt", "dpc"):
+        for client in ("std", "opt", DPC):
             r = run_case(client, case, nthreads, ops_per_thread, params)
             value = r["bandwidth"] / 1e9 if case.startswith("seq") else r["iops"]
             table.add_row(case, client, value, r["host_cores"])

@@ -90,6 +90,9 @@ class KvShardServer:
         self.failed = False
         self.crashes = 0
         self.ops_served = 0
+        #: cumulative seconds requests spent queued for a service thread —
+        #: the scale-out experiments read this to locate shard saturation
+        self.queue_wait_total = 0.0
         env.process(self._serve(), name=f"{name}-server")
 
     # -- fault hooks ----------------------------------------------------------
@@ -131,8 +134,10 @@ class KvShardServer:
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
         if self.failed:
             return  # crashed: the request vanishes; only a timeout saves the caller
+        enq = self.env.now
         req = self.threads.request()
         yield req
+        self.queue_wait_total += self.env.now - enq
         try:
             op, token = _split_token(msg.payload)
             seen, cached = self._idem.check(token)
@@ -281,3 +286,7 @@ class KvCluster:
 
     def total_ops(self) -> int:
         return sum(s.ops_served for s in self.shards)
+
+    def total_queue_wait(self) -> float:
+        """Aggregate seconds spent queued for shard threads across the store."""
+        return sum(s.queue_wait_total for s in self.shards)

@@ -57,10 +57,27 @@ class ObsvContext:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self.systems: list[tuple[str, object, object]] = []
+        self._by_name: dict[str, tuple[object, object]] = {}
 
-    def register(self, name: str, tracer, registry) -> None:
-        if self.enabled:
-            self.systems.append((name, tracer, registry))
+    def register(self, name: str, tracer, registry) -> str:
+        """Record a built system under ``name``.
+
+        Cluster builds register one entry per node endpoint ("dpc", "dpc1",
+        …).  Rebuilding a system with a name already taken (e.g. two
+        single-host testbeds in one experiment) gets a versioned name —
+        ``"dpc@2"``, ``"dpc@3"`` — so report output never silently merges
+        two runs.  Returns the name actually used.
+        """
+        if not self.enabled:
+            return name
+        final = name
+        version = 2
+        while final in self._by_name:
+            final = f"{name}@{version}"
+            version += 1
+        self._by_name[final] = (tracer, registry)
+        self.systems.append((final, tracer, registry))
+        return final
 
     def tracers(self):
         return [t for _, t, _ in self.systems if getattr(t, "enabled", False)]

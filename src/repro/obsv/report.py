@@ -192,9 +192,11 @@ def run_experiment(experiment: str, case: Optional[str], threads: int, ops: int)
     """Run one small experiment with tracing enabled; return the context."""
     ctx = enable_tracing()
     if experiment == "fig9":
+        from ..core.topology import ROLE_DPC, node_endpoint
         from ..experiments.fig9_dfs import run_case
 
-        run_case("dpc", case or "rnd-wr", nthreads=threads, ops_per_thread=ops)
+        run_case(node_endpoint(ROLE_DPC, 0), case or "rnd-wr",
+                 nthreads=threads, ops_per_thread=ops)
     elif experiment == "fig2":
         from ..experiments.fig2_dma import count_dmas
 

@@ -238,6 +238,10 @@ class SystemParams:
     #: MDS delegation lease duration; an expired lease is reclaimable by any
     #: other client (MDS-driven recall on client failure)
     deleg_lease: float = 30.0
+    #: deadline for the MDS's recall RPC to a stale delegation's owner; a
+    #: crashed/unreachable owner costs at most this before the contender is
+    #: granted (the expired lease is authoritative either way)
+    deleg_recall_timeout: float = 5e-3
     #: cache write-back circuit breaker: consecutive flusher failures before
     #: opening, and how long to stay open before admitting a probe
     breaker_failures: int = 3

@@ -1,13 +1,25 @@
 """fio/vdbench-style workload generation (paper Table 1 tooling)."""
 
-from .runner import ClientTarget, JobResult, JobSpec, VfsFileTarget, run_job
+from .runner import (
+    ClientTarget,
+    ClusterJobResult,
+    ClusterJobSpec,
+    JobResult,
+    JobSpec,
+    VfsFileTarget,
+    run_cluster_job,
+    run_job,
+)
 from .vdbench import VdbenchConfig, parse as parse_vdbench, parse_size
 
 __all__ = [
     "ClientTarget",
+    "ClusterJobResult",
+    "ClusterJobSpec",
     "JobResult",
     "JobSpec",
     "VfsFileTarget",
+    "run_cluster_job",
     "run_job",
     "VdbenchConfig",
     "parse_vdbench",

@@ -113,6 +113,36 @@ def test_run_job_sequential_offsets_are_streams():
     assert target.reads == [i * 4096 for i in range(10)]
 
 
+def test_run_job_seq_more_threads_than_blocks_stays_in_file():
+    # Regression: with nthreads > nblocks the old region partitioning gave
+    # threads past nblocks a base offset beyond EOF; bases must wrap within
+    # the file instead.
+    env = Environment()
+    target = SyntheticTarget(env)
+    spec = JobSpec(
+        "t", "seqwrite", block_size=4096, nthreads=8, ops_per_thread=3, file_size=4 * 4096
+    )
+    run_job(env, spec, lambda tid: target)
+    assert len(target.writes) == 24
+    assert all(0 <= off < 4 * 4096 for off in target.writes)
+    # threads wrap onto the 4 in-file blocks: every base is one of them
+    assert {off // 4096 for off in target.writes} <= {0, 1, 2, 3}
+
+
+def test_run_job_seq_partitioning_unchanged_when_threads_fit():
+    # For nthreads <= nblocks the clamp must not move any thread's region.
+    env = Environment()
+    target = SyntheticTarget(env)
+    spec = JobSpec(
+        "t", "seqread", block_size=4096, nthreads=4, ops_per_thread=2, file_size=16 * 4096
+    )
+    run_job(env, spec, lambda tid: target)
+    # region = 4 blocks/thread: thread t reads blocks 4t, 4t+1
+    assert sorted(target.reads) == sorted(
+        (t * 4 + i) * 4096 for t in range(4) for i in range(2)
+    )
+
+
 def test_run_job_mix_fraction():
     env = Environment()
     target = SyntheticTarget(env)
@@ -190,6 +220,30 @@ def test_client_target_adapts_ino_interface():
     spec = JobSpec("t", "randrw", nthreads=1, ops_per_thread=10)
     run_job(env, spec, lambda tid: ClientTarget(client, ino=77))
     assert all(c[1] == 77 for c in client.calls)
+
+
+def test_cluster_jobspec_validation():
+    from repro.workload.runner import ClusterJobSpec
+
+    with pytest.raises(ValueError):
+        ClusterJobSpec("bad", "seqread")  # cluster jobs are random-mode only
+    with pytest.raises(ValueError):
+        ClusterJobSpec("bad", "randrw", nfiles=0)
+    with pytest.raises(ValueError):
+        ClusterJobSpec("bad", "randrw", zipf_s=-1.0)
+
+
+def test_zipf_cdf_shape():
+    from repro.workload.runner import _zipf_cdf
+
+    cdf = _zipf_cdf(8, 1.1)
+    assert len(cdf) == 8 and cdf[-1] == 1.0
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+    # skew: the most popular file owns more probability mass than uniform
+    assert cdf[0] > 1 / 8
+    # s=0 degenerates to uniform
+    uni = _zipf_cdf(4, 0.0)
+    assert uni[0] == pytest.approx(0.25)
 
 
 def test_run_job_cpu_windows():
