@@ -80,7 +80,7 @@ class BenchRecorder:
     def flush(self) -> None:
         if not self._groups:
             return
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         sha = _git_sha()
         seed = _default_seed()
         for group, metrics in self._groups.items():
@@ -109,6 +109,10 @@ class BenchRecorder:
 @pytest.fixture(scope="session")
 def bench_json():
     """Session-wide recorder: ``bench_json(group, metric, value)``."""
+    # Create results/ up front: benchmarks that write BENCH_*.json directly
+    # (bypassing the recorder) must not fail on a fresh clone, where the
+    # directory does not exist yet.
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     rec = BenchRecorder()
     yield rec.record
     rec.flush()

@@ -1,0 +1,63 @@
+"""Bench: multi-NVMe striped data plane — devices-per-node sweep.
+
+Asserts the shape claims: a single SSD is the bottleneck at one device,
+striping multiplies throughput (>= 2x 4 KiB random-read IOPS at four
+devices), and the bottleneck moves off the SSD — to the DPU cores for
+the IOPS-bound workload and to the PCIe link for the bandwidth-bound
+one.  Results land in ``results/BENCH_multidev.json``.
+"""
+
+from repro.experiments import multidev
+
+
+def test_multidev_sweep(once, bench_json):
+    points = once(multidev.run, device_counts=(1, 2, 4))
+    print()
+    print(multidev.table(points).render())
+    by_key = {(p["workload"], p["n_devices"]): p for p in points}
+    rr = {n: by_key[("4k_randread", n)] for n in (1, 2, 4)}
+    sw = {n: by_key[("128k_seqwrite", n)] for n in (1, 2, 4)}
+
+    for p in points:
+        key = f"{p['workload']}/d{p['n_devices']}"
+        bench_json("multidev", f"{key}/iops", round(p["iops"], 1))
+        bench_json("multidev", f"{key}/bandwidth_GBs", round(p["bandwidth_GBs"], 3))
+        bench_json("multidev", f"{key}/lat_us", round(p["lat_us"], 2))
+        bench_json("multidev", f"{key}/bottleneck", p["bottleneck"])
+    bench_json(
+        "multidev",
+        "4k_randread/d4/speedup_vs_1dev",
+        round(rr[4]["iops"] / rr[1]["iops"], 3),
+    )
+    bench_json(
+        "multidev",
+        "128k_seqwrite/d4/speedup_vs_1dev",
+        round(sw[4]["iops"] / sw[1]["iops"], 3),
+    )
+
+    # One device is SSD-bound in both workloads.
+    assert rr[1]["bottleneck"] == "ssd"
+    assert sw[1]["bottleneck"] == "ssd"
+    assert rr[1]["ssd_util"] > 0.9
+
+    # Random-read IOPS grows with the array and clears 2x at four devices.
+    assert rr[2]["iops"] > rr[1]["iops"]
+    assert rr[4]["iops"] > rr[2]["iops"]
+    assert rr[4]["iops"] >= 2.0 * rr[1]["iops"]
+
+    # Sequential-write bandwidth scales further (bandwidth-bound case).
+    assert sw[2]["bandwidth_GBs"] > 1.5 * sw[1]["bandwidth_GBs"]
+    assert sw[4]["bandwidth_GBs"] > 2.5 * sw[1]["bandwidth_GBs"]
+
+    # At four devices the ceiling has moved off the SSDs: DPU cores for
+    # the IOPS-bound workload, the PCIe link for the bandwidth-bound one.
+    assert rr[4]["bottleneck"] == "dpu_cores"
+    assert sw[4]["bottleneck"] == "pcie"
+    assert rr[4]["ssd_util"] < 0.9
+    assert sw[4]["ssd_util"] < 0.9
+
+    # Striping spreads the load: every device in the 4-wide array serves
+    # reads, and no device does more than 2x its fair share.
+    reads = [pd["reads"] for pd in rr[4]["per_device"]]
+    assert len(reads) == 4 and all(r > 0 for r in reads)
+    assert max(reads) < 2.0 * (sum(reads) / len(reads))

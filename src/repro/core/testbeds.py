@@ -28,6 +28,7 @@ from ..cache.hostplane import HostCachePlane
 from ..cache.layout import CacheLayout
 from ..dfs import MdsCluster, OffloadedDfsClient, StandardNfsClient, build_dfs
 from ..dpu.dispatch import IoDispatch
+from ..dpu.striping import StripedNvme, build_nvme_array
 from ..dpu.virtual import VirtualClient
 from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
 from ..host.adapters import Ext4Adapter
@@ -59,6 +60,7 @@ from .topology import (
     _collect_fault,
     _collect_nvme,
     _collect_pcie,
+    _collect_ssd,
     _dpu_cpu,
     _host_cpu,
     build_cluster,
@@ -106,6 +108,11 @@ class DpcSystem:
     breaker: Optional[CircuitBreaker] = None
     registry: Optional[Registry] = None
     tracer: Optional[Tracer] = None
+    #: DPU-local NVMe data plane (``with_local_nvme``): the device/array,
+    #: the ext4-sim over it, and the host adapter mounted at "/local"
+    nvme: Optional[object] = None
+    local_fs: Optional[Ext4Fs] = None
+    local_adapter: Optional[DpcAdapter] = None
     #: the single-node :class:`~repro.core.topology.Cluster` this system is
     #: a view of (node 0); gives legacy callers access to the topology API
     cluster: Optional[Cluster] = None
@@ -122,6 +129,7 @@ def build_dpc_system(
     prefetch: bool = True,
     num_queues: Optional[int] = None,
     trace: Optional[bool] = None,
+    with_local_nvme: bool = False,
 ) -> DpcSystem:
     """Assemble the full DPC system of paper Figure 3.
 
@@ -143,6 +151,7 @@ def build_dpc_system(
         prefetch=prefetch,
         num_queues=num_queues,
         trace=trace,
+        with_local_nvme=with_local_nvme,
     )
     node = cluster.nodes[0]
     return DpcSystem(
@@ -171,6 +180,9 @@ def build_dpc_system(
         breaker=node.dpu.breaker,
         registry=node.registry,
         tracer=node.tracer,
+        nvme=node.dpu.nvme,
+        local_fs=node.dpu.local_fs,
+        local_adapter=node.host.local_adapter,
         cluster=cluster,
     )
 
@@ -182,7 +194,9 @@ class Ext4System:
     env: Environment
     params: SystemParams
     host_cpu: CpuPool
-    ssd: NvmeSsd
+    #: bare device, or a :class:`StripedNvme` when
+    #: ``params.nvme_devices_per_node >= 2``
+    ssd: "NvmeSsd | StripedNvme"
     fs: Ext4Fs
     vfs: Vfs
     adapter: Ext4Adapter
@@ -202,26 +216,14 @@ def build_ext4_system(
     p = params or default_params()
     env = Environment(seed=p.seed)
     host_cpu = _host_cpu(env, p)
-    ssd = NvmeSsd(
-        env,
-        read_latency=p.ssd_read_latency,
-        write_latency=p.ssd_write_latency,
-        channels=p.ssd_channels,
-        bandwidth=p.ssd_bandwidth,
-        max_iops=p.ssd_max_iops,
-        capacity_blocks=capacity_blocks,
-    )
+    ssd = build_nvme_array(env, p, capacity_blocks=capacity_blocks)
     fs = Ext4Fs(env, ssd, host_cpu, p, cache_pages=cache_pages)
     vfs = Vfs(env, host_cpu, p)
     adapter = Ext4Adapter(fs)
     vfs.mount("/mnt", adapter)
     registry = Registry("ext4")
     registry.collect(_collect_cpu(host_cpu))
-
-    def _ssd() -> dict:
-        return {"ssd.reads": ssd.reads, "ssd.writes": ssd.writes}
-
-    registry.collect(_ssd)
+    registry.collect(_collect_ssd(ssd))
     tracer = _attach_tracer(env, trace, [])
     get_context().register("ext4", tracer, registry)
     return Ext4System(env, p, host_cpu, ssd, fs, vfs, adapter, registry, tracer)

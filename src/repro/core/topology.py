@@ -40,14 +40,17 @@ from ..cache.control import CacheControlPlane
 from ..cache.hostplane import HostCachePlane
 from ..cache.layout import CacheLayout
 from ..dfs import MdsCluster, OffloadedDfsClient, build_dfs
-from ..dpu.dispatch import IoDispatch
+from ..dpu.dispatch import FLAG_LOCAL, IoDispatch
+from ..dpu.striping import StripedNvme, build_nvme_array
 from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
+from ..host.adapters import Ext4Adapter
 from ..host.fsadapter import DpcAdapter
 from ..host.vfs import Vfs
 from ..kv.client import KvClient
 from ..kv.server import KvCluster
 from ..kvfs import schema as kvfs_schema
 from ..kvfs.fs import Kvfs
+from ..localfs.ext4sim import Ext4Fs
 from ..obsv import get_context
 from ..obsv.metrics import Registry
 from ..obsv.tracer import Tracer
@@ -217,10 +220,45 @@ def _collect_nvme(ini: NvmeFsInitiator, tgt: NvmeFsTarget):
 
 def _collect_dispatch(dispatch: IoDispatch):
     def fn() -> dict:
-        return {
+        out = {
             "dispatch.standalone_ops": dispatch.standalone_ops,
             "dispatch.distributed_ops": dispatch.distributed_ops,
         }
+        # Only emitted when a local plane exists, so pre-striping registry
+        # snapshots (and their golden signatures) stay byte-identical.
+        if dispatch.local_fs is not None:
+            out["dispatch.local_ops"] = dispatch.local_ops
+        return out
+
+    return fn
+
+
+def _collect_ssd(device):
+    """SSD collector: the legacy aggregate keys always; per-device keys
+    (queue depth, busy time, bytes, utilisation, aggregate bandwidth) only
+    for striped arrays, so single-device snapshots stay byte-identical."""
+
+    def fn() -> dict:
+        out = {"ssd.reads": device.reads, "ssd.writes": device.writes}
+        if not isinstance(device, StripedNvme):
+            return out
+        elapsed = device.env.now
+        out["ssd.n_devices"] = device.n_devices
+        out["ssd.bytes_read"] = device.bytes_read
+        out["ssd.bytes_written"] = device.bytes_written
+        total = device.bytes_read + device.bytes_written
+        out["ssd.agg_bandwidth"] = total / elapsed if elapsed > 0 else 0.0
+        for d in device.devices:
+            pre = f"ssd.{d.name}"
+            out[f"{pre}.reads"] = d.reads
+            out[f"{pre}.writes"] = d.writes
+            out[f"{pre}.bytes_read"] = d.bytes_read
+            out[f"{pre}.bytes_written"] = d.bytes_written
+            out[f"{pre}.busy_seconds"] = d.busy_seconds
+            out[f"{pre}.inflight"] = d.inflight
+            out[f"{pre}.qd_peak"] = d.qd_peak
+            out[f"{pre}.utilisation"] = d.utilisation(elapsed)
+        return out
 
     return fn
 
@@ -291,6 +329,8 @@ class HostNode:
     dfs_adapter: Optional[DpcAdapter] = None
     cache_layout: Optional[CacheLayout] = None
     cache_host: Optional[HostCachePlane] = None
+    #: adapter for the "/local" mount (DPU-local striped NVMe plane)
+    local_adapter: Optional[DpcAdapter] = None
 
 
 @dataclass
@@ -306,6 +346,10 @@ class DpuNode:
     dfs_client: Optional[OffloadedDfsClient] = None
     cache_ctrl: Optional[CacheControlPlane] = None
     breaker: Optional[CircuitBreaker] = None
+    #: the node's NVMe data plane (bare NvmeSsd or StripedNvme array)
+    nvme: Optional[object] = None
+    #: ext4-sim over :attr:`nvme`, running on the DPU cores
+    local_fs: Optional[Ext4Fs] = None
 
 
 @dataclass
@@ -375,6 +419,7 @@ def build_cluster(
     prefetch: bool = True,
     num_queues: Optional[int] = None,
     trace: Optional[bool] = None,
+    with_local_nvme: bool = False,
 ) -> Cluster:
     """Assemble ``n_hosts`` DPC host/DPU pairs over one shared backend.
 
@@ -389,6 +434,14 @@ def build_cluster(
     The construction order for node 0 replicates the historical
     ``build_dpc_system`` step for step, so ``build_cluster(1)`` is
     bit-identical to the legacy single-host builder at a fixed seed.
+
+    ``with_local_nvme`` adds a DPU-local data plane per node: an array of
+    ``params.nvme_devices_per_node`` NVMe SSDs (striped RAID0-style for
+    N >= 2) under an ext4-sim running on the DPU cores, mounted at
+    ``"/local"`` on the host VFS and reached over the same nvme-fs
+    transport via ``FLAG_LOCAL``-tagged requests.  Off by default: no
+    construction step, process, or registry key is added, keeping the
+    default wiring bit-identical.
     """
     if n_hosts < 1:
         raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
@@ -517,6 +570,27 @@ def build_cluster(
                 breaker=breaker,
             )
             vfs.mount("/dfs", dfs_adapter)
+        # DPU-local striped NVMe data plane (flag-gated for bit-identity).
+        local_nvme = local_ext4 = local_adapter = None
+        if with_local_nvme:
+            local_nvme = build_nvme_array(
+                env, p, capacity_blocks=1 << 22, node_idx=i
+            )
+            local_ext4 = Ext4Fs(env, local_nvme, dpu_cpu, p)
+            dispatch.local_fs = Ext4Adapter(local_ext4)
+            local_adapter = DpcAdapter(
+                env,
+                ini,
+                host_cpu,
+                p,
+                cache=None,
+                req_type=ReqType.STANDALONE,
+                base_flags=FLAG_LOCAL,
+            )
+            # Local-plane inos are the ext4-sim's own (root is EXT4 ino 1,
+            # not the KVFS 0): point the VFS mount at the right root.
+            local_adapter.root_ino = dispatch.local_fs.root_ino
+            vfs.mount("/local", local_adapter)
         registry = Registry(ep)
         registry.collect(_collect_cpu(host_cpu))
         registry.collect(_collect_cpu(dpu_cpu))
@@ -524,6 +598,8 @@ def build_cluster(
         registry.collect(_collect_kv(kv_cluster, kv_client))
         registry.collect(_collect_nvme(ini, tgt))
         registry.collect(_collect_dispatch(dispatch))
+        if local_nvme is not None:
+            registry.collect(_collect_ssd(local_nvme))
         registry.collect(_collect_fault(plane))
         if cache_host is not None:
             registry.collect(_collect_cache(cache_host))
@@ -543,6 +619,7 @@ def build_cluster(
                 kv_client,
                 kvfs_adapter,
                 dfs_adapter,
+                local_adapter,
                 dfs_client,
                 getattr(dfs_client, "stripeio", None),
             ],
@@ -563,6 +640,7 @@ def build_cluster(
                     dfs_adapter=dfs_adapter,
                     cache_layout=cache_layout,
                     cache_host=cache_host,
+                    local_adapter=local_adapter,
                 ),
                 dpu=DpuNode(
                     index=i,
@@ -574,6 +652,8 @@ def build_cluster(
                     dfs_client=dfs_client,
                     cache_ctrl=cache_ctrl,
                     breaker=breaker,
+                    nvme=local_nvme,
+                    local_fs=local_ext4,
                 ),
                 registry=registry,
                 tracer=tracer,

@@ -34,6 +34,10 @@ __all__ = ["IoDispatch"]
 PAGE = 4096
 #: FileRequest.flags bit selecting the direct path (mirrors host O_DIRECT)
 FLAG_DIRECT = 0x4000
+#: FileRequest.flags bit routing a STANDALONE request to the DPU-local
+#: striped NVMe data plane instead of the KVFS fabric (the SQE req_type is a
+#: single bit, so the third backend is selected in-band via flags)
+FLAG_LOCAL = 0x2000
 
 
 class IoDispatch:
@@ -50,6 +54,7 @@ class IoDispatch:
         kvfs: Optional[Kvfs] = None,
         dfs_client: Optional[OffloadedDfsClient] = None,
         cache_ctrl=None,
+        local_fs=None,
     ):
         self.env = env
         self.dpu_cpu = dpu_cpu
@@ -57,8 +62,14 @@ class IoDispatch:
         self.kvfs = kvfs
         self.dfs_client = dfs_client
         self.cache_ctrl = cache_ctrl
+        #: DPU-local file system over the striped NVMe array, exposed via the
+        #: :class:`~repro.host.adapters.FsAdapter` surface (an Ext4Adapter
+        #: running on DPU cores); serves STANDALONE requests carrying
+        #: ``FLAG_LOCAL``
+        self.local_fs = local_fs
         self.standalone_ops = 0
         self.distributed_ops = 0
+        self.local_ops = 0
 
     # ------------------------------------------------------------------ entry point
     def backend(
@@ -67,6 +78,14 @@ class IoDispatch:
         """The NVME-TGT / DPFS-HAL backend callable."""
         req_type = sqe.req_type if sqe is not None else ReqType.STANDALONE
         if req_type == ReqType.STANDALONE:
+            if request.flags & FLAG_LOCAL:
+                self.local_ops += 1
+                if self.local_fs is None:
+                    return FileResponse(status=Errno.EINVAL), b""
+                with self.tracer.span(
+                    "dispatch.local", track="dpu", op=request.op.name
+                ):
+                    return (yield from self._local_op(request, payload))
             self.standalone_ops += 1
             if self.kvfs is None:
                 return FileResponse(status=Errno.EINVAL), b""
@@ -143,6 +162,65 @@ class IoDispatch:
             return FileResponse(status=Errno.EINVAL), b""
         except KvfsError as e:
             return FileResponse(status=e.errno_code), b""
+
+    # ------------------------------------------------------------------ local plane
+    def _local_op(
+        self, req: FileRequest, payload: bytes
+    ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
+        """DPU-local data plane: an ext4-sim over the striped NVMe array.
+
+        ``fs`` speaks the FsAdapter surface (Ext4Adapter on DPU cores), so
+        the striped device fan-out happens underneath the unmodified file
+        system.  Errors surface as ``errno_code``-carrying OSErrors from
+        either the adapter or the fs proper.
+        """
+        fs = self.local_fs
+        try:
+            op = req.op
+            if op == FileOp.LOOKUP:
+                attr = yield from fs.lookup(req.ino, req.name)
+                return FileResponse(attr=attr), b""
+            if op == FileOp.CREATE:
+                attr = yield from fs.create(req.ino, req.name, req.mode or 0o644)
+                return FileResponse(attr=attr), b""
+            if op == FileOp.MKDIR:
+                attr = yield from fs.mkdir(req.ino, req.name, req.mode or 0o755)
+                return FileResponse(attr=attr), b""
+            if op == FileOp.STAT:
+                attr = yield from fs.stat(req.ino)
+                return FileResponse(attr=attr), b""
+            if op == FileOp.READDIR:
+                entries = yield from fs.readdir(req.ino)
+                return self._paginate_dirents(entries, req.offset), b""
+            if op == FileOp.UNLINK:
+                yield from fs.unlink(req.ino, req.name)
+                return FileResponse(), b""
+            if op == FileOp.RMDIR:
+                yield from fs.rmdir(req.ino, req.name)
+                return FileResponse(), b""
+            if op == FileOp.RENAME:
+                yield from fs.rename(req.ino, req.name, req.aux_ino, req.extra)
+                return FileResponse(), b""
+            if op == FileOp.TRUNCATE:
+                yield from fs.truncate(req.ino, req.offset)
+                return FileResponse(), b""
+            if op == FileOp.SETATTR:
+                attr = yield from fs.stat(req.ino)
+                if req.offset > attr.size:
+                    yield from fs.truncate(req.ino, req.offset)
+                return FileResponse(), b""
+            if op == FileOp.WRITE:
+                n = yield from fs.write(req.ino, req.offset, payload, req.flags)
+                return FileResponse(size=n), b""
+            if op == FileOp.READ:
+                data = yield from fs.read(req.ino, req.offset, req.length, req.flags)
+                return FileResponse(size=len(data)), data
+            if op == FileOp.FSYNC:
+                yield from fs.fsync(req.ino)
+                return FileResponse(), b""
+            return FileResponse(status=Errno.EINVAL), b""
+        except OSError as e:
+            return FileResponse(status=getattr(e, "errno_code", Errno.EIO)), b""
 
     # ------------------------------------------------------------------ DFS stack
     def _dfs_op(

@@ -1,0 +1,296 @@
+"""RAID0-style striping across multiple simulated NVMe SSDs.
+
+One :class:`~repro.sim.nvme_device.NvmeSsd` caps every node at a single
+device's IOPS and bandwidth — the same ext4-style plateau Figure 7 and
+Table 2 expose.  This module aggregates N devices behind the block-device
+interface the rest of the stack already speaks (``read_blocks`` /
+``write_blocks``), so the ext4-sim baseline, the journal, and the DPU-local
+data plane stripe transparently.
+
+Layout: the LBA space is cut into fixed-size **stripe units** dealt
+round-robin across the devices.  Global unit ``u`` lives on device
+``u % n`` at device-unit ``u // n``, so a long contiguous run that covers
+whole rotations lands as one *contiguous* run per device —
+:meth:`StripeMap.map_run` merges those per-device legs back together, which
+is what keeps the coalescing of batched sub-command fan-outs and
+contiguous-run writebacks intact after the split (each leg stays one large
+device command instead of shattering into per-unit commands).
+
+Completion semantics: a striped I/O completes when its **slowest leg**
+lands (``AllOf`` over the per-device legs), exactly like md-RAID0.
+
+``build_nvme_array`` is the testbed entry point: with
+``nvme_devices_per_node=1`` it returns a bare :class:`NvmeSsd` constructed
+with the historical arguments — bit-identical to the pre-striping wiring —
+and only for N >= 2 does it build an array, attaching a per-device seeded
+service substream so the members do not tick in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Union
+
+from ..params import SystemParams
+from ..sim.core import Environment, Event
+from ..sim.nvme_device import BLOCK, NvmeSsd
+
+__all__ = ["StripeSegment", "StripeMap", "StripedNvme", "build_nvme_array"]
+
+
+@dataclass(frozen=True)
+class StripeSegment:
+    """One per-device leg of a striped run.
+
+    ``spans`` lists ``(src_block, nblocks)`` pairs mapping the leg's device
+    blocks back to block offsets inside the original run, in device-LBA
+    order: writes gather their payload from the spans, reads scatter the
+    device's return into them.  ``sum(n for _, n in spans) == nblocks`` and
+    the leg is contiguous on the device starting at ``dev_lba``.
+    """
+
+    device: int
+    dev_lba: int
+    nblocks: int
+    spans: tuple[tuple[int, int], ...]
+
+
+class StripeMap:
+    """Pure ``(lba, nblocks) -> per-device segments`` translation."""
+
+    def __init__(self, n_devices: int, stripe_unit_blocks: int):
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        if stripe_unit_blocks < 1:
+            raise ValueError(
+                f"stripe_unit_blocks must be >= 1, got {stripe_unit_blocks}"
+            )
+        self.n_devices = n_devices
+        self.unit = stripe_unit_blocks
+
+    def locate(self, lba: int) -> tuple[int, int]:
+        """Device index and device-LBA holding global block ``lba``."""
+        unit, off = divmod(lba, self.unit)
+        rot, dev = divmod(unit, self.n_devices)
+        return dev, rot * self.unit + off
+
+    def map_run(self, lba: int, nblocks: int) -> list[StripeSegment]:
+        """Split ``[lba, lba+nblocks)`` into per-device contiguous legs.
+
+        Runs crossing stripe-unit boundaries are cut at each boundary; the
+        per-unit chunks landing on one device at adjacent device LBAs are
+        merged back into a single leg (with scatter/gather ``spans``), so a
+        run covering whole rotations costs one command per device.
+        Segments come back ordered by device index, then device LBA.
+        """
+        if nblocks <= 0:
+            return []
+        if self.n_devices == 1:
+            return [
+                StripeSegment(0, lba, nblocks, ((0, nblocks),))
+            ]
+        # Walk unit-aligned chunks, accumulating per-device legs.
+        legs: dict[int, list[list]] = {}  # dev -> [dev_lba, nblocks, spans]
+        pos = lba
+        end = lba + nblocks
+        src = 0
+        while pos < end:
+            chunk = min(end - pos, self.unit - pos % self.unit)
+            dev, dev_lba = self.locate(pos)
+            open_legs = legs.setdefault(dev, [])
+            if open_legs and open_legs[-1][0] + open_legs[-1][1] == dev_lba:
+                leg = open_legs[-1]
+                leg[1] += chunk
+                leg[2].append((src, chunk))
+            else:
+                open_legs.append([dev_lba, chunk, [(src, chunk)]])
+            pos += chunk
+            src += chunk
+        out: list[StripeSegment] = []
+        for dev in sorted(legs):
+            for dev_lba, count, spans in legs[dev]:
+                out.append(StripeSegment(dev, dev_lba, count, tuple(spans)))
+        return out
+
+
+class StripedNvme:
+    """N :class:`NvmeSsd` devices behind the single-device interface.
+
+    Duck-type compatible with :class:`NvmeSsd` where the file-system layers
+    care (``read_blocks``, ``write_blocks``, ``capacity_blocks``, ``peek``,
+    ``stored_blocks``, ``reads``/``writes`` counters), so ``Ext4Fs`` and the
+    journal run unmodified over an array.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        devices: list[NvmeSsd],
+        stripe_unit_blocks: int,
+        capacity_blocks: Optional[int] = None,
+    ):
+        if not devices:
+            raise ValueError("StripedNvme needs at least one device")
+        self.env = env
+        self.devices = devices
+        self.smap = StripeMap(len(devices), stripe_unit_blocks)
+        #: addressable array capacity; every mapped device LBA is backed
+        self.capacity_blocks = (
+            capacity_blocks
+            if capacity_blocks is not None
+            else min(d.capacity_blocks for d in devices) * len(devices)
+        )
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def stripe_unit_blocks(self) -> int:
+        return self.smap.unit
+
+    # -- aggregate accounting ---------------------------------------------------
+    @property
+    def bytes_read(self) -> int:
+        return sum(d.bytes_read for d in self.devices)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.bytes_written for d in self.devices)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Mean channel utilisation across the array's members."""
+        if not self.devices:
+            return 0.0
+        return sum(d.utilisation(elapsed) for d in self.devices) / len(self.devices)
+
+    def _check(self, lba: int, nblocks: int) -> None:
+        if lba < 0 or lba + nblocks > self.capacity_blocks:
+            raise IndexError(
+                f"striped[{self.n_devices}x]: LBA range [{lba}, {lba + nblocks}) "
+                f"(nblocks={nblocks}) out of array "
+                f"(capacity_blocks={self.capacity_blocks})"
+            )
+
+    # -- I/O ----------------------------------------------------------------------
+    def read_blocks(self, lba: int, nblocks: int) -> Generator[Event, None, bytes]:
+        """Striped read; completes when the slowest device leg lands."""
+        self._check(lba, nblocks)
+        self.reads += 1
+        segs = self.smap.map_run(lba, nblocks)
+        if len(segs) == 1:
+            s = segs[0]
+            return (yield from self.devices[s.device].read_blocks(s.dev_lba, s.nblocks))
+        out = bytearray(nblocks * BLOCK)
+
+        def leg(seg: StripeSegment):
+            data = yield from self.devices[seg.device].read_blocks(
+                seg.dev_lba, seg.nblocks
+            )
+            return seg, data
+
+        procs = [self.env.process(leg(s), name=f"stripe-rd-d{s.device}") for s in segs]
+        results = yield self.env.all_of(procs)
+        for p in procs:
+            seg, data = results[p]
+            got = 0
+            for src, count in seg.spans:
+                out[src * BLOCK : (src + count) * BLOCK] = data[
+                    got * BLOCK : (got + count) * BLOCK
+                ]
+                got += count
+        return bytes(out)
+
+    def write_blocks(self, lba: int, data: bytes) -> Generator[Event, None, None]:
+        """Striped write; completes when the slowest device leg lands."""
+        if len(data) % BLOCK:
+            raise ValueError(
+                f"striped[{self.n_devices}x]: write at lba={lba} must be a "
+                f"multiple of {BLOCK} bytes, got {len(data)}"
+            )
+        nblocks = len(data) // BLOCK
+        self._check(lba, nblocks)
+        self.writes += 1
+        segs = self.smap.map_run(lba, nblocks)
+        if len(segs) == 1:
+            s = segs[0]
+            yield from self.devices[s.device].write_blocks(s.dev_lba, data)
+            return
+
+        def leg(seg: StripeSegment):
+            chunks = [
+                data[src * BLOCK : (src + count) * BLOCK] for src, count in seg.spans
+            ]
+            yield from self.devices[seg.device].write_blocks(
+                seg.dev_lba, b"".join(chunks)
+            )
+
+        procs = [self.env.process(leg(s), name=f"stripe-wr-d{s.device}") for s in segs]
+        yield self.env.all_of(procs)
+
+    # -- direct (zero-time) access for test setup ------------------------------
+    def peek(self, lba: int) -> bytes:
+        dev, dev_lba = self.smap.locate(lba)
+        return self.devices[dev].peek(dev_lba)
+
+    def stored_blocks(self) -> int:
+        return sum(d.stored_blocks() for d in self.devices)
+
+
+def build_nvme_array(
+    env: Environment,
+    params: SystemParams,
+    capacity_blocks: int = 1 << 26,
+    node_idx: int = 0,
+) -> Union[NvmeSsd, StripedNvme]:
+    """Build the per-node NVMe data plane from ``params``.
+
+    ``nvme_devices_per_node=1`` returns a bare :class:`NvmeSsd` constructed
+    exactly as the pre-striping testbeds did (bit-identical wiring, pinned
+    by the fig7/ext4 golden signature).  For N >= 2 each member gets its
+    own capacity slice, identity, and — when ``nvme_latency_jitter`` is
+    non-zero — a named RNG substream decorrelating its service times.
+    """
+    n = params.nvme_devices_per_node
+    if n < 1:
+        raise ValueError(f"nvme_devices_per_node must be >= 1, got {n}")
+    if n == 1:
+        return NvmeSsd(
+            env,
+            read_latency=params.ssd_read_latency,
+            write_latency=params.ssd_write_latency,
+            channels=params.ssd_channels,
+            bandwidth=params.ssd_bandwidth,
+            max_iops=params.ssd_max_iops,
+            capacity_blocks=capacity_blocks,
+        )
+    unit = params.nvme_stripe_unit // BLOCK
+    if unit < 1 or params.nvme_stripe_unit % BLOCK:
+        raise ValueError(
+            f"nvme_stripe_unit must be a multiple of {BLOCK}, "
+            f"got {params.nvme_stripe_unit}"
+        )
+    # Per-device capacity: enough units to back every mapped array LBA.
+    units_total = -(-capacity_blocks // unit)
+    per_dev_blocks = -(-units_total // n) * unit
+    jitter = params.nvme_latency_jitter
+    devices = [
+        NvmeSsd(
+            env,
+            read_latency=params.ssd_read_latency,
+            write_latency=params.ssd_write_latency,
+            channels=params.ssd_channels,
+            bandwidth=params.ssd_bandwidth,
+            max_iops=params.ssd_max_iops,
+            capacity_blocks=per_dev_blocks,
+            device_id=i,
+            service_rng=(
+                env.substream(f"nvme.n{node_idx}.d{i}") if jitter > 0.0 else None
+            ),
+            latency_jitter=jitter,
+        )
+        for i in range(n)
+    ]
+    return StripedNvme(env, devices, unit, capacity_blocks=capacity_blocks)

@@ -20,12 +20,13 @@ from ..core.testbeds import build_dpc_system, build_ext4_system
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
-from ..params import SystemParams
+from ..params import SystemParams, default_params
 from .common import measure_threads
 
-__all__ = ["run", "run_one", "DEFAULT_THREADS"]
+__all__ = ["run", "run_one", "run_devices", "DEFAULT_THREADS", "DEFAULT_DEVICES"]
 
 DEFAULT_THREADS = (1, 8, 32, 64, 128, 256)
+DEFAULT_DEVICES = (1, 2, 4)
 FILE_SIZE = 16 * 1024 * 1024
 BLOCK = 8192
 
@@ -42,8 +43,17 @@ def run_one(
     nthreads: int,
     ops_per_thread: int = 30,
     params: Optional[SystemParams] = None,
+    n_devices: int = 1,
 ) -> dict:
-    """One cell of Figure 7: returns iops/lat/host CPU/dpu CPU."""
+    """One cell of Figure 7: returns iops/lat/host CPU/dpu CPU.
+
+    ``n_devices`` stripes the ext4 baseline's local data plane across that
+    many NVMe SSDs (1 = the paper's single-device testbed).
+    """
+    if n_devices != 1:
+        params = (params or default_params()).with_overrides(
+            nvme_devices_per_node=n_devices
+        )
     if fs == "ext4":
         sys = build_ext4_system(params)
         path = "/mnt/bigfile"
@@ -106,4 +116,28 @@ def run(
                     fs, rw, n, r["iops"], r["lat_us"], r["host_cpu_pct"], r["dpu_cpu_pct"]
                 )
     table.note("paper: crossover at ~64 threads; Ext4 >90% host CPU at 256")
+    return table
+
+
+def run_devices(
+    params: Optional[SystemParams] = None,
+    device_counts=DEFAULT_DEVICES,
+    nthreads: int = 128,
+    ops_per_thread: int = 20,
+) -> ResultTable:
+    """Devices-per-node axis: the ext4 baseline over a striped NVMe array.
+
+    At high concurrency the single device is the 8K-random bottleneck;
+    striping moves the plateau up until the host CPU (ext4's lock/journal
+    contention) takes over.
+    """
+    table = ResultTable(
+        f"Figure 7 devices axis: Ext4 8K random, {nthreads} threads",
+        ["rw", "devices", "iops", "lat_us", "host_cpu_pct"],
+    )
+    for rw in ("read", "write"):
+        for nd in device_counts:
+            r = run_one("ext4", rw, nthreads, ops_per_thread, params, n_devices=nd)
+            table.add_row(rw, nd, r["iops"], r["lat_us"], r["host_cpu_pct"])
+    table.note("devices=1 is the paper testbed; the array raises the SSD ceiling")
     return table

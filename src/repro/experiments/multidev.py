@@ -1,0 +1,315 @@
+"""Multi-NVMe sweep: devices-per-node vs throughput, and the bottleneck shift.
+
+Drives the DPU-local data plane (``build_dpc_system(with_local_nvme=True)``,
+mounted at ``"/local"``) with 1/2/4/8 NVMe devices striped RAID0-style, under
+two workloads:
+
+* ``4k_randread`` — 4 KiB random reads, O_DIRECT, high concurrency: the
+  IOPS-bound case.  One device caps at its channel/IOPS limit; the array
+  multiplies that until the DPU cores (ext4-sim dispatch on wimpy TaiShan
+  cores) saturate.
+* ``128k_seqwrite`` — 128 KiB sequential writes, O_DIRECT, per-thread
+  regions: the bandwidth-bound case.  One device caps at ~3.2 GB/s; the
+  array multiplies that until the PCIe link (15.75 GB/s) saturates.
+
+Per sweep point the run records throughput, latency, **per-device**
+queue-depth peaks / busy time / bytes / utilisation, PCIe-link and CPU
+utilisation, and names the most-utilised resource as ``bottleneck`` — the
+"where did the ceiling move" answer the sweep exists for.  Results land in
+``results/BENCH_multidev.json`` with the same envelope the benchmark suite
+uses.
+
+CLI::
+
+    python -m repro.experiments.multidev [--devices 1,2,4,8] [--ops 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+from ..core.testbeds import build_dpc_system
+from ..host.adapters import O_DIRECT
+from ..host.vfs import O_CREAT
+from ..metrics.stats import ResultTable
+from ..params import SystemParams, default_params
+from .common import measure_threads
+
+__all__ = [
+    "run",
+    "run_point",
+    "table",
+    "write_bench",
+    "main",
+    "DEFAULT_DEVICES",
+    "WORKLOADS",
+]
+
+DEFAULT_DEVICES = (1, 2, 4, 8)
+WORKLOADS = ("4k_randread", "128k_seqwrite")
+
+#: envelope schema shared with benchmarks/conftest.py
+SCHEMA_VERSION = 1
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+RAND_BLOCK = 4096
+RAND_FILE = 32 << 20  # shared random-read file
+SEQ_CHUNK = 128 * 1024
+SEQ_REGION = 4 << 20  # per-thread streaming region
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _rand_off(tid: int, j: int) -> int:
+    h = (tid * 0x9E3779B1 + j * 0x85EBCA77) & 0xFFFFFFFF
+    return (h % (RAND_FILE // RAND_BLOCK)) * RAND_BLOCK
+
+
+def run_point(
+    workload: str,
+    n_devices: int,
+    params: Optional[SystemParams] = None,
+    nthreads: Optional[int] = None,
+    ops_per_thread: int = 20,
+) -> dict:
+    """One sweep point: local plane with ``n_devices`` NVMe SSDs."""
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}")
+    p = (params or default_params()).with_overrides(
+        nvme_devices_per_node=n_devices
+    )
+    sys_ = build_dpc_system(params=p, with_local_nvme=True)
+    randread = workload == "4k_randread"
+    if nthreads is None:
+        # 64 threads saturate a single device (16 channels x 88us) with
+        # queueing to spare while keeping the ext4-sim's per-thread lock
+        # contention surcharge off the critical path at higher device counts.
+        nthreads = 64 if randread else 16
+
+    def prep():
+        f = yield from sys_.vfs.open("/local/bigfile", O_CREAT | O_DIRECT)
+        chunk = 1 << 20
+        blob = b"\x42" * chunk
+        size = RAND_FILE if randread else SEQ_REGION * nthreads
+        for off in range(0, size, chunk):
+            yield from sys_.vfs.write(f, off, blob)
+        return f
+
+    handle = sys_.run_until(prep())
+    seq_blob = b"\x5a" * SEQ_CHUNK
+
+    def op(tid: int, j: int):
+        if randread:
+            yield from sys_.vfs.read(handle, _rand_off(tid, j), RAND_BLOCK)
+        else:
+            off = tid * SEQ_REGION + (j * SEQ_CHUNK) % SEQ_REGION
+            yield from sys_.vfs.write(handle, off, seq_blob)
+
+    # Snapshot counters so the report covers the measurement window only
+    # (preallocation writes are excluded).
+    devices = getattr(sys_.nvme, "devices", [sys_.nvme])
+    dev0 = [
+        (d.reads, d.writes, d.bytes_read, d.bytes_written, d.busy_seconds)
+        for d in devices
+    ]
+    link_stats = sys_.link.stats
+    pcie_bytes0 = link_stats.bytes_read + link_stats.bytes_written
+    res = measure_threads(
+        sys_.env,
+        nthreads,
+        ops_per_thread,
+        op,
+        host_cpu=sys_.host_cpu,
+        dpu_cpu=sys_.dpu_cpu,
+    )
+    elapsed = res.elapsed if res.elapsed > 0 else 1e-12
+    op_bytes = RAND_BLOCK if randread else SEQ_CHUNK
+    pcie_bytes = (link_stats.bytes_read + link_stats.bytes_written) - pcie_bytes0
+
+    per_device = []
+    for d, (r0, w0, br0, bw0, busy0) in zip(devices, dev0):
+        busy = d.busy_seconds - busy0
+        per_device.append(
+            {
+                "name": d.name,
+                "reads": d.reads - r0,
+                "writes": d.writes - w0,
+                "bytes_read": d.bytes_read - br0,
+                "bytes_written": d.bytes_written - bw0,
+                "busy_seconds": busy,
+                "qd_peak": d.qd_peak,
+                "utilisation": min(1.0, busy / (d.num_channels * elapsed)),
+            }
+        )
+
+    # Resource utilisations over the measurement window -> bottleneck.
+    ssd_util = max(pd["utilisation"] for pd in per_device)
+    pcie_util = min(1.0, pcie_bytes / (p.pcie_bandwidth * elapsed))
+    dpu_util = sys_.dpu_cpu.window_usage_percent() / 100.0
+    host_util = sys_.host_cpu.window_usage_percent() / 100.0
+    utils = {
+        "ssd": ssd_util,
+        "pcie": pcie_util,
+        "dpu_cores": dpu_util,
+        "host_cpu": host_util,
+    }
+    bottleneck = max(utils, key=utils.get)
+
+    return {
+        "workload": workload,
+        "n_devices": n_devices,
+        "nthreads": nthreads,
+        "iops": res.iops,
+        "bandwidth_GBs": res.iops * op_bytes / 1e9,
+        "lat_us": res.mean_lat * 1e6,
+        "per_device": per_device,
+        "ssd_util": ssd_util,
+        "pcie_util": pcie_util,
+        "dpu_util": dpu_util,
+        "host_util": host_util,
+        "bottleneck": bottleneck,
+    }
+
+
+def run(
+    device_counts=DEFAULT_DEVICES,
+    params: Optional[SystemParams] = None,
+    ops_per_thread: int = 20,
+    workloads=WORKLOADS,
+) -> list[dict]:
+    """Full sweep; one record per (workload, device count)."""
+    return [
+        run_point(w, nd, params=params, ops_per_thread=ops_per_thread)
+        for w in workloads
+        for nd in device_counts
+    ]
+
+
+def table(points: list[dict]) -> ResultTable:
+    t = ResultTable(
+        "Multi-NVMe sweep: devices per node vs throughput (DPU-local plane)",
+        [
+            "workload",
+            "devices",
+            "iops",
+            "GB/s",
+            "lat_us",
+            "ssd_util",
+            "pcie_util",
+            "dpu_util",
+            "bottleneck",
+        ],
+    )
+    for pt in points:
+        t.add_row(
+            pt["workload"],
+            pt["n_devices"],
+            pt["iops"],
+            pt["bandwidth_GBs"],
+            pt["lat_us"],
+            pt["ssd_util"],
+            pt["pcie_util"],
+            pt["dpu_util"],
+            pt["bottleneck"],
+        )
+    t.note("bottleneck = most-utilised resource over the measurement window")
+    return t
+
+
+def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
+    """Write ``BENCH_multidev.json`` (same envelope as benchmarks/conftest)."""
+    if path is None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / "BENCH_multidev.json"
+    metrics: dict = {}
+    base: dict[str, float] = {}
+    for pt in points:
+        key = f"{pt['workload']}/d{pt['n_devices']}"
+        metrics[f"{key}/iops"] = round(pt["iops"], 1)
+        metrics[f"{key}/bandwidth_GBs"] = round(pt["bandwidth_GBs"], 3)
+        metrics[f"{key}/lat_us"] = round(pt["lat_us"], 2)
+        metrics[f"{key}/ssd_util"] = round(pt["ssd_util"], 4)
+        metrics[f"{key}/pcie_util"] = round(pt["pcie_util"], 4)
+        metrics[f"{key}/dpu_util"] = round(pt["dpu_util"], 4)
+        metrics[f"{key}/bottleneck"] = pt["bottleneck"]
+        for pd in pt["per_device"]:
+            dk = f"{key}/{pd['name']}"
+            metrics[f"{dk}/qd_peak"] = pd["qd_peak"]
+            metrics[f"{dk}/busy_seconds"] = round(pd["busy_seconds"], 6)
+            metrics[f"{dk}/bytes"] = pd["bytes_read"] + pd["bytes_written"]
+            metrics[f"{dk}/utilisation"] = round(pd["utilisation"], 4)
+        if pt["n_devices"] == 1:
+            base[pt["workload"]] = pt["iops"]
+        elif pt["workload"] in base and base[pt["workload"]] > 0:
+            metrics[f"{key}/speedup_vs_1dev"] = round(
+                pt["iops"] / base[pt["workload"]], 3
+            )
+    envelope = {
+        "schema": SCHEMA_VERSION,
+        "seed": default_params().seed,
+        "git_sha": _git_sha(),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments.multidev",
+        description="Devices-per-node sweep over the DPU-local striped plane.",
+    )
+    ap.add_argument(
+        "--devices",
+        default=",".join(str(n) for n in DEFAULT_DEVICES),
+        help="comma-separated device counts (default 1,2,4,8)",
+    )
+    ap.add_argument("--ops", type=int, default=20, help="ops per thread")
+    ap.add_argument(
+        "--workloads",
+        default=",".join(WORKLOADS),
+        help="comma-separated workload names",
+    )
+    ap.add_argument(
+        "--no-json",
+        action="store_true",
+        help="skip writing results/BENCH_multidev.json",
+    )
+    args = ap.parse_args(argv)
+    devices = [int(x) for x in args.devices.split(",") if x]
+    workloads = [w for w in args.workloads.split(",") if w]
+    points = run(devices, ops_per_thread=args.ops, workloads=workloads)
+    print(table(points).render())
+    for w in workloads:
+        wpts = [pt for pt in points if pt["workload"] == w]
+        shifts = [
+            f"d{a['n_devices']}:{a['bottleneck']}->d{b['n_devices']}:{b['bottleneck']}"
+            for a, b in zip(wpts, wpts[1:])
+            if a["bottleneck"] != b["bottleneck"]
+        ]
+        print(f"{w}: bottleneck shift {shifts or ['none (within sweep)']}")
+    if not args.no_json:
+        out = write_bench(points)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

@@ -137,7 +137,7 @@ def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
     from ..params import default_params
 
     if path is None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / "BENCH_scaleout.json"
     metrics: dict = {"saturation_n_hosts": saturation_point(points)}
     for p in points:

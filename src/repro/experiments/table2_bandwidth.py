@@ -27,13 +27,14 @@ from ..core.testbeds import build_dpc_system, build_ext4_system
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
-from ..params import SystemParams
+from ..params import SystemParams, default_params
 from .common import measure_threads
 
-__all__ = ["run", "run_one"]
+__all__ = ["run", "run_one", "run_devices", "DEFAULT_DEVICES"]
 
 CHUNK = 1 << 20
 REGION = 4 * 1024 * 1024  # per-thread streaming region
+DEFAULT_DEVICES = (1, 2, 4)
 
 
 def run_one(
@@ -42,8 +43,17 @@ def run_one(
     nthreads: int,
     ops_per_thread: int = 8,
     params: Optional[SystemParams] = None,
+    n_devices: int = 1,
 ) -> float:
-    """Returns bytes/second."""
+    """Returns bytes/second.
+
+    ``n_devices`` stripes the ext4 baseline's local data plane across that
+    many NVMe SSDs (1 = the paper's single-device testbed).
+    """
+    if n_devices != 1:
+        params = (params or default_params()).with_overrides(
+            nvme_devices_per_node=n_devices
+        )
     if fs == "ext4":
         sys = build_ext4_system(params, capacity_blocks=1 << 22)
         path = "/mnt/stream"
@@ -85,4 +95,27 @@ def run(params: Optional[SystemParams] = None, scaled: bool = True) -> ResultTab
             k = run_one("kvfs", rw, n, ops, params)
             table.add_row(n, f"1MB seq. {rw}", e / 1e9, k / 1e9, k / e)
     table.note("paper: Ext4 1.8/1.6 -> 3.0/2.0; KVFS 5.0/3.1 -> 7.6/5.0")
+    return table
+
+
+def run_devices(
+    params: Optional[SystemParams] = None,
+    device_counts=DEFAULT_DEVICES,
+    nthreads: int = 32,
+    ops_per_thread: int = 6,
+) -> ResultTable:
+    """Devices-per-node axis: ext4 sequential bandwidth over a striped array.
+
+    A single device caps ext4 at ~3.2 GB/s; striping lifts the ceiling
+    until the PCIe link or the host CPU takes over.
+    """
+    table = ResultTable(
+        f"Table 2 devices axis: Ext4 1MB sequential, {nthreads} threads (GB/s)",
+        ["workload", "devices", "GBs"],
+    )
+    for rw in ("read", "write"):
+        for nd in device_counts:
+            bw = run_one("ext4", rw, nthreads, ops_per_thread, params, n_devices=nd)
+            table.add_row(f"1MB seq. {rw}", nd, bw / 1e9)
+    table.note("devices=1 is the paper testbed (single-SSD ~3.2 GB/s cap)")
     return table

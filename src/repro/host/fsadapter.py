@@ -13,6 +13,7 @@ filling pages and writing them back.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Generator, Optional
 
 from ..cache.hostplane import HostCachePlane
@@ -144,11 +145,16 @@ class DpcAdapter(_TransportAdapterBase):
         cache: Optional[HostCachePlane] = None,
         req_type: int = ReqType.STANDALONE,
         breaker=None,
+        base_flags: int = 0,
     ):
         super().__init__(env, host_cpu, params)
         self.ini = ini
         self.cache = cache
         self.req_type = req_type
+        #: flags OR-ed into every request (e.g. ``FLAG_LOCAL`` routes a
+        #: STANDALONE mount to the DPU-local striped NVMe plane); 0 leaves
+        #: requests untouched
+        self.base_flags = base_flags
         #: optional :class:`~repro.fault.CircuitBreaker` shared with the
         #: cache control plane: while it is open the flusher cannot drain
         #: dirty pages, so buffered writes degrade to write-through — the
@@ -159,7 +165,13 @@ class DpcAdapter(_TransportAdapterBase):
         #: host-known file sizes grown by unflushed buffered writes
         self._sizes: dict[int, int] = {}
 
+    def _tag(self, request: FileRequest) -> FileRequest:
+        if not self.base_flags or request.flags & self.base_flags == self.base_flags:
+            return request
+        return dataclasses.replace(request, flags=request.flags | self.base_flags)
+
     def _submit(self, request, write_payload=b"", read_len=0):
+        request = self._tag(request)
         with self.tracer.span("host.submit", track="host", op=request.op.name):
             yield from self.host_cpu.execute(self.params.fs_adapter_cost, tag="fs-adapter")
             resp = yield from self.ini.submit(
@@ -228,7 +240,7 @@ class DpcAdapter(_TransportAdapterBase):
             n = min(self.MAX_IO, total - pos)
             batch.append(
                 (
-                    FileRequest(op, ino=ino, offset=offset + pos, length=n, flags=flags),
+                    self._tag(FileRequest(op, ino=ino, offset=offset + pos, length=n, flags=flags)),
                     data[pos : pos + n] if op == FileOp.WRITE else b"",
                     n if op == FileOp.READ else 0,
                 )

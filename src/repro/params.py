@@ -78,6 +78,18 @@ class SystemParams:
     ssd_bandwidth: float = 3.2e9
     ssd_max_iops: float = 360_000.0
 
+    # ---- multi-NVMe striped data plane (see DESIGN.md §13) ----------------------
+    #: NVMe SSDs fronted by each node's data plane.  1 keeps the historical
+    #: single-device wiring bit-identical (no striping wrapper at all);
+    #: N >= 2 builds a RAID0-style array striped at ``nvme_stripe_unit``.
+    nvme_devices_per_node: int = 1
+    #: stripe-unit size in bytes (must be a multiple of the 4 KiB block)
+    nvme_stripe_unit: int = 64 * KiB
+    #: +/- relative service-latency spread applied per command on array
+    #: members only (each from its own seeded substream), so striped devices
+    #: do not tick in lockstep.  Single-device planes never draw from it.
+    nvme_latency_jitter: float = 0.05
+
     # ---- Ext4 host CPU model ------------------------------------------------------
     #: base host CPU per Ext4 I/O (bio build, journal, block layer, IRQ)
     ext4_op_cpu_base: float = 6.0 * US

@@ -16,10 +16,18 @@ The model has three cost components:
 
 The device stores real bytes (a dict of LBA -> 4 KB block), so the ext4-like
 file system built on it round-trips data bit-for-bit.
+
+Multi-device arrays (``repro.dpu.striping``) give each member an identity
+(``device_id``/``name``) and its own seeded service substream
+(``service_rng`` + ``latency_jitter``) so the members of a striped array do
+not tick in lockstep.  Both are inert by default: a device built without an
+RNG draws nothing and behaves bit-identically to the historical
+single-device model.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Generator, Optional
 
 from .core import Environment, Event
@@ -42,37 +50,83 @@ class NvmeSsd:
         bandwidth: float = 3.2e9,
         max_iops: float = 360_000.0,
         capacity_blocks: int = 1 << 26,
+        device_id: int = 0,
+        service_rng: Optional[random.Random] = None,
+        latency_jitter: float = 0.0,
     ):
         self.env = env
         self.read_latency = read_latency
         self.write_latency = write_latency
+        self.num_channels = channels
         self.channels = Resource(env, channels)
-        self.pipe = TokenBucket(env, bandwidth, name="ssd-bw")
-        self.iops_gate = TokenBucket(env, max_iops, name="ssd-iops")
+        self.pipe = TokenBucket(env, bandwidth, name=f"ssd{device_id}-bw")
+        self.iops_gate = TokenBucket(env, max_iops, name=f"ssd{device_id}-iops")
         self.capacity_blocks = capacity_blocks
+        #: array member identity ("nvme0", "nvme1", ...)
+        self.device_id = device_id
+        #: per-device seeded service substream; ``None`` draws nothing
+        self.service_rng = service_rng
+        #: relative service-latency spread (+/-) applied per command when a
+        #: substream is attached; decorrelates array members
+        self.latency_jitter = latency_jitter
         self._blocks: dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
+        # -- per-device accounting (obsv collectors read these) -------------
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: cumulative channel-occupancy seconds (media + internal-bus time);
+        #: utilisation = busy_seconds / (channels * elapsed)
+        self.busy_seconds = 0.0
+        #: commands currently inside the device (queued or in service)
+        self.inflight = 0
+        #: high-water mark of :attr:`inflight`
+        self.qd_peak = 0
+
+    @property
+    def name(self) -> str:
+        return f"nvme{self.device_id}"
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of the device's channel capacity used over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.num_channels * elapsed))
 
     # -- helpers ----------------------------------------------------------------
     def _service(
         self, latency: float, nbytes: int
     ) -> Generator[Event, None, None]:
-        # One "command" through the IOPS gate...
-        yield self.iops_gate.transfer(1)
-        # ...then a channel for the media access...
-        req = self.channels.request()
-        yield req
+        if self.service_rng is not None and self.latency_jitter > 0.0:
+            spread = self.latency_jitter
+            latency *= 1.0 + spread * (2.0 * self.service_rng.random() - 1.0)
+        self.inflight += 1
+        if self.inflight > self.qd_peak:
+            self.qd_peak = self.inflight
         try:
-            yield self.env.timeout(latency)
-            # ...and payload time on the shared internal bus.
-            yield self.pipe.transfer(nbytes)
+            # One "command" through the IOPS gate...
+            yield self.iops_gate.transfer(1)
+            # ...then a channel for the media access...
+            req = self.channels.request()
+            yield req
+            t0 = self.env.now
+            try:
+                yield self.env.timeout(latency)
+                # ...and payload time on the shared internal bus.
+                yield self.pipe.transfer(nbytes)
+            finally:
+                self.busy_seconds += self.env.now - t0
+                self.channels.release(req)
         finally:
-            self.channels.release(req)
+            self.inflight -= 1
 
     def _check(self, lba: int, nblocks: int) -> None:
         if lba < 0 or lba + nblocks > self.capacity_blocks:
-            raise IndexError(f"LBA range [{lba}, {lba + nblocks}) out of device")
+            raise IndexError(
+                f"{self.name}: LBA range [{lba}, {lba + nblocks}) "
+                f"(nblocks={nblocks}) out of device "
+                f"(capacity_blocks={self.capacity_blocks})"
+            )
 
     # -- I/O ----------------------------------------------------------------------
     def read_blocks(
@@ -81,6 +135,7 @@ class NvmeSsd:
         """Read ``nblocks`` 4 KB blocks starting at ``lba``."""
         self._check(lba, nblocks)
         self.reads += 1
+        self.bytes_read += nblocks * BLOCK
         yield from self._service(self.read_latency, nblocks * BLOCK)
         out = bytearray()
         zero = bytes(BLOCK)
@@ -93,10 +148,14 @@ class NvmeSsd:
     ) -> Generator[Event, None, None]:
         """Write block-aligned ``data`` starting at ``lba``."""
         if len(data) % BLOCK:
-            raise ValueError("write must be a multiple of 4096 bytes")
+            raise ValueError(
+                f"{self.name}: write at lba={lba} must be a multiple of "
+                f"{BLOCK} bytes, got {len(data)}"
+            )
         nblocks = len(data) // BLOCK
         self._check(lba, nblocks)
         self.writes += 1
+        self.bytes_written += len(data)
         yield from self._service(self.write_latency, len(data))
         for i in range(nblocks):
             self._blocks[lba + i] = bytes(data[i * BLOCK : (i + 1) * BLOCK])

@@ -1,0 +1,203 @@
+"""Multi-NVMe data plane: bit-identity golden + local-plane end-to-end.
+
+``GOLDEN_FIG7_EXT4`` was captured from the **pre-striping** ext4 testbed at
+the default seed (42), before ``build_nvme_array`` replaced the inline
+``NvmeSsd`` construction.  With ``nvme_devices_per_node=1`` (the default)
+the array builder must reproduce the old wiring byte for byte: same seeded
+run, same registry snapshot, same signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.testbeds import build_dpc_system, build_ext4_system
+from repro.dpu.striping import StripedNvme
+from repro.experiments.common import measure_threads
+from repro.host.adapters import FsError, O_DIRECT
+from repro.host.vfs import O_CREAT
+from repro.params import default_params
+
+BLOCK = 8192
+FILE_SIZE = 4 << 20
+
+#: registry-snapshot signature of the pre-striping single-SSD ext4 testbed
+#: at seed 42 (captured before this refactor; see module docstring)
+GOLDEN_FIG7_EXT4 = "3e75f40bb26bc9007995590ce25ba983310b8251e65c1678f6457650e416b61c"
+
+
+def _signature(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def _rand_off(tid: int, j: int, span: int) -> int:
+    h = (tid * 0x9E3779B1 + j * 0x85EBCA77) & 0xFFFFFFFF
+    return (h % (span // BLOCK)) * BLOCK
+
+
+def probe_fig7_ext4(params=None) -> str:
+    """Fig7/Table2-style ext4 run: direct random 8K mix + 1 MiB streams."""
+    sys_ = build_ext4_system(params=params)
+
+    def prep():
+        f = yield from sys_.vfs.open("/mnt/bigfile", O_CREAT | O_DIRECT)
+        blob = b"\x42" * (1 << 20)
+        for off in range(0, FILE_SIZE, 1 << 20):
+            yield from sys_.vfs.write(f, off, blob)
+        return f
+
+    f = sys_.run_until(prep())
+    block = b"\x5a" * BLOCK
+
+    def op(tid, j):
+        off = _rand_off(tid, j, FILE_SIZE)
+        if (tid + j) % 2:
+            yield from sys_.vfs.write(f, off, block)
+        else:
+            yield from sys_.vfs.read(f, off, BLOCK)
+
+    measure_threads(sys_.env, 8, 6, op, host_cpu=sys_.host_cpu)
+
+    def stream():
+        blob = b"\x7e" * (1 << 20)
+        yield from sys_.vfs.write(f, 0, blob)
+        yield from sys_.vfs.read(f, 0, 1 << 20)
+        yield from sys_.vfs.fsync(f)
+
+    sys_.run_until(stream())
+    return _signature(sys_.registry.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: nvme_devices_per_node=1 must match the pre-striping golden
+# ---------------------------------------------------------------------------
+
+
+def test_single_device_matches_pre_striping_golden():
+    assert probe_fig7_ext4() == GOLDEN_FIG7_EXT4
+
+
+def test_single_device_golden_is_explicit_about_default():
+    p = default_params()
+    assert p.nvme_devices_per_node == 1
+    assert probe_fig7_ext4(params=p.with_overrides(nvme_devices_per_node=1)) == (
+        GOLDEN_FIG7_EXT4
+    )
+
+
+def test_multi_device_ext4_changes_timing_but_stays_deterministic():
+    p = default_params().with_overrides(nvme_devices_per_node=4)
+    sig = probe_fig7_ext4(params=p)
+    assert sig != GOLDEN_FIG7_EXT4  # striping genuinely changes the run
+    assert sig == probe_fig7_ext4(params=p)  # ...deterministically
+
+
+# ---------------------------------------------------------------------------
+# DPU-local data plane over the striped array
+# ---------------------------------------------------------------------------
+
+
+def _local_roundtrip(system, path="/local/f", size=1 << 20):
+    blob = bytes((i * 131 + 17) % 256 for i in range(size))
+
+    def scenario():
+        f = yield from system.vfs.open(path, O_CREAT | O_DIRECT)
+        yield from system.vfs.write(f, 0, blob)
+        data = yield from system.vfs.read(f, 0, size)
+        attr = yield from system.vfs.stat(path)
+        yield from system.vfs.fsync(f)
+        yield from system.vfs.close(f)
+        return bytes(data), attr
+
+    data, attr = system.run_until(scenario())
+    assert data == blob
+    assert attr.size == size
+
+
+def test_local_plane_single_device_end_to_end():
+    sys_ = build_dpc_system(with_local_nvme=True)
+    _local_roundtrip(sys_)
+    assert sys_.dispatch.local_ops > 0
+    assert sys_.nvme is not None and not isinstance(sys_.nvme, StripedNvme)
+    # the existing mounts still work alongside
+    assert sys_.dispatch.standalone_ops >= 0
+
+
+def test_local_plane_striped_end_to_end():
+    p = default_params().with_overrides(nvme_devices_per_node=4)
+    sys_ = build_dpc_system(params=p, with_local_nvme=True)
+    _local_roundtrip(sys_)
+    assert isinstance(sys_.nvme, StripedNvme)
+    # the 1 MiB stream fanned out across every array member
+    assert all(d.bytes_written > 0 for d in sys_.nvme.devices)
+    snap = sys_.registry.snapshot()
+    assert snap["ssd.n_devices"] == 4
+    assert snap["dispatch.local_ops"] > 0
+    for d in sys_.nvme.devices:
+        assert f"ssd.{d.name}.busy_seconds" in snap
+        assert f"ssd.{d.name}.qd_peak" in snap
+
+
+def test_local_plane_metadata_ops_and_errors():
+    sys_ = build_dpc_system(with_local_nvme=True)
+
+    def scenario():
+        yield from sys_.vfs.mkdir("/local/d")
+        f = yield from sys_.vfs.open("/local/d/x", O_CREAT)
+        yield from sys_.vfs.write(f, 0, b"hello")
+        yield from sys_.vfs.close(f)
+        names = yield from sys_.vfs.readdir("/local/d")
+        yield from sys_.vfs.unlink("/local/d/x")
+        try:
+            yield from sys_.vfs.open("/local/d/x", 0)
+        except FsError as e:
+            missing = e.errno_code
+        else:
+            missing = None
+        return names, missing
+
+    names, missing = sys_.run_until(scenario())
+    assert b"x" in [n for n, _ in names] or "x" in [
+        n.decode() if isinstance(n, bytes) else n for n, _ in names
+    ]
+    assert missing is not None
+
+
+def test_registry_without_local_plane_has_no_ssd_keys():
+    sys_ = build_dpc_system()
+    snap = sys_.registry.snapshot()
+    assert not any(k.startswith("ssd.") for k in snap)
+    assert "dispatch.local_ops" not in snap
+
+
+def test_local_plane_multi_node_cluster():
+    from repro.core.topology import build_cluster
+
+    p = default_params().with_overrides(nvme_devices_per_node=2)
+    cluster = build_cluster(n_hosts=2, params=p, with_local_nvme=True)
+    for node in cluster.nodes:
+        assert isinstance(node.dpu.nvme, StripedNvme)
+
+    a, b = cluster.nodes
+    blob_a, blob_b = b"\xaa" * BLOCK, b"\xbb" * BLOCK
+
+    def scenario():
+        fa = yield from a.vfs.open("/local/f", O_CREAT | O_DIRECT)
+        fb = yield from b.vfs.open("/local/f", O_CREAT | O_DIRECT)
+        yield from a.vfs.write(fa, 0, blob_a)
+        yield from b.vfs.write(fb, 0, blob_b)
+        da = yield from a.vfs.read(fa, 0, BLOCK)
+        db = yield from b.vfs.read(fb, 0, BLOCK)
+        return bytes(da), bytes(db)
+
+    da, db = cluster.run_until(scenario())
+    # node-local planes are truly per-node: no cross-talk
+    assert da == blob_a and db == blob_b
+    assert a.dpu.nvme is not b.dpu.nvme
+
+
+if __name__ == "__main__":
+    print("fig7-ext4", probe_fig7_ext4())
