@@ -183,7 +183,7 @@ def _collect_cache(cache_host: HostCachePlane):
     return fn
 
 
-def _collect_kv(cluster: KvCluster, client: KvClient):
+def _collect_kv(cluster: KvCluster, client: KvClient, rebalancer=None):
     def fn() -> dict:
         out = {
             "kv.client.ops_issued": client.ops_issued,
@@ -203,6 +203,34 @@ def _collect_kv(cluster: KvCluster, client: KvClient):
             out[f"kv.engine.{key}"] = sum(
                 getattr(sh.engine.stats, key) for sh in cluster.shards
             )
+        # Flash / elastic keys only exist when the features are on, so
+        # default-params snapshots (and their golden signatures) stay
+        # byte-identical.
+        if cluster.params.kv_flash_model:
+            agg: dict[str, float] = {}
+            for sh in cluster.shards:
+                if sh.flash is None:
+                    continue
+                for k, v in sh.flash.metrics("kv.flash").items():
+                    agg[k] = agg.get(k, 0) + v
+            agg.pop("kv.flash.inline_threshold", None)
+            out.update(agg)
+            thresholds = [
+                sh.flash.inline_threshold
+                for sh in cluster.shards
+                if sh.flash is not None
+            ]
+            if thresholds:
+                out["kv.flash.inline_threshold.max"] = max(thresholds)
+        if cluster.ring is not None:
+            out["kv.ring.version"] = cluster.ring.version
+            out["kv.ring.shards"] = len(cluster.ring.shards)
+            out["kv.client.stale_reroutes"] = client.stale_reroutes
+            out["kv.server.stale_bounces"] = sum(
+                sh.stale_bounces for sh in cluster.shards
+            )
+        if rebalancer is not None:
+            out.update(rebalancer.metrics())
         return out
 
     return fn
@@ -390,6 +418,8 @@ class Cluster:
     mds: Optional[MdsCluster] = None
     dataservers: Optional[list] = None
     layout: Optional[object] = None
+    #: elastic KV rebalancer (only with kv_elastic + kv_rebalance)
+    rebalancer: Optional[object] = None
 
     @property
     def n_hosts(self) -> int:
@@ -452,6 +482,7 @@ def build_cluster(
 
     fabric: Optional[Fabric] = None
     kv_cluster: Optional[KvCluster] = None
+    rebalancer = None
     mds = dataservers = layout = None
     nodes: list[ClusterNode] = []
 
@@ -475,6 +506,17 @@ def build_cluster(
             fabric.fault_plane = plane
             # Disaggregated backends, shared by every node.
             kv_cluster = KvCluster(env, fabric, p)
+            if p.kv_rebalance and p.kv_elastic:
+                from ..kv.rebalance import Rebalancer
+
+                rebalancer = Rebalancer(
+                    env,
+                    fabric,
+                    kv_cluster,
+                    p,
+                    route_fn=kvfs_schema.routing_key,
+                    plane=plane,
+                )
         ep = node_endpoint(ROLE_DPC, i)
         fabric.attach(ep)
         kv_client = KvClient(
@@ -485,6 +527,7 @@ def build_cluster(
             scan_route_fn=kvfs_schema.scan_routing,
             retry=retry,
             plane=plane,
+            ring=kv_cluster.ring.clone() if kv_cluster.ring is not None else None,
         )
         kvfs = Kvfs(env, kv_client, dpu_cpu, p)
         dfs_client = None
@@ -595,7 +638,7 @@ def build_cluster(
         registry.collect(_collect_cpu(host_cpu))
         registry.collect(_collect_cpu(dpu_cpu))
         registry.collect(_collect_pcie(link))
-        registry.collect(_collect_kv(kv_cluster, kv_client))
+        registry.collect(_collect_kv(kv_cluster, kv_client, rebalancer))
         registry.collect(_collect_nvme(ini, tgt))
         registry.collect(_collect_dispatch(dispatch))
         if local_nvme is not None:
@@ -670,4 +713,5 @@ def build_cluster(
         mds=mds,
         dataservers=dataservers,
         layout=layout,
+        rebalancer=rebalancer,
     )

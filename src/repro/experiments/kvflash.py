@@ -1,0 +1,298 @@
+"""Flash-aware elastic KV sweep: small-value inlining + live resharding.
+
+Two questions from the flash/elastic backend work, one sweep each:
+
+**A. Inlining** — with the costed flash device model on, how much get
+latency does riding small values inside the mapping entry save?  A
+steady-state point-get workload over a small/large value mix is run with
+``kv_inline_enabled`` off and on; the delta is the data-page read each
+inlined get skips (the CMT hit still resolves the mapping in DRAM).
+
+**B. Elastic resharding** — the scale-out sweeps showed the KV store is
+the first wall at 8 hosts: Zipf-skewed routing piles queue wait onto a
+couple of hot shards.  The same shared-hot-set cluster workload is run
+with the static modulo-routed store and with the consistent-hash ring +
+queue-wait-driven rebalancer; the elastic store should split the hot
+shards live and drop both the total KV queue wait and its across-shard
+spread.
+
+Writes ``results/BENCH_kvflash.json`` with the same envelope as the other
+benchmark sweeps.
+
+CLI::
+
+    python -m repro.experiments.kvflash [--hosts 1,2,4,8] [--ops 120]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..core.topology import build_cluster
+from ..kv.client import KvClient
+from ..kv.server import KvCluster
+from ..metrics.stats import ResultTable
+from ..params import SystemParams, default_params
+from ..sim.core import Environment
+from ..sim.network import Fabric
+from ..workload.runner import ClusterJobSpec, run_cluster_job
+from .scaleout import RESULTS_DIR, SCHEMA_VERSION, _git_sha
+
+__all__ = [
+    "run_inline_point",
+    "run_elastic_point",
+    "run",
+    "write_bench",
+    "main",
+    "DEFAULT_HOSTS",
+    "ELASTIC_OVERRIDES",
+]
+
+DEFAULT_HOSTS = (1, 2, 4, 8)
+
+#: rebalancer tuning for the sweep: the jobs last tens of milliseconds, so
+#: the monitor must observe (and act) on a sub-millisecond cadence to split
+#: hot shards while the run can still benefit
+ELASTIC_OVERRIDES = dict(
+    kv_elastic=True,
+    kv_rebalance=True,
+    kv_rebalance_interval=400e-6,
+    kv_rebalance_threshold=10e-6,
+)
+
+
+# -- part A: small-value inlining ---------------------------------------------
+
+
+def run_inline_point(
+    inline: bool,
+    params: Optional[SystemParams] = None,
+    n_small: int = 96,
+    small_size: int = 256,
+    n_big: int = 24,
+    big_size: int = 8192,
+    passes: int = 3,
+) -> dict:
+    """Steady-state point gets against the flash-costed store."""
+    p = (params or default_params()).with_overrides(
+        kv_shards=4, kv_flash_model=True, kv_inline_enabled=inline
+    )
+    env = Environment(seed=p.seed)
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    cluster = KvCluster(env, fabric, p)
+    fabric.attach("bench")
+    client = KvClient(fabric, "bench", cluster.shard_names())
+    small_keys = [b"s%07d" % i for i in range(n_small)]
+    big_keys = [b"b%07d" % i for i in range(n_big)]
+    lat_small: list[float] = []
+    lat_big: list[float] = []
+
+    def flow():
+        for k in small_keys:
+            yield from client.put(k, b"v" * small_size)
+        for k in big_keys:
+            yield from client.put(k, b"V" * big_size)
+        # Warm pass fills the CMT; the timed passes measure steady state.
+        for k in small_keys + big_keys:
+            yield from client.get(k)
+        for _ in range(passes):
+            for k in small_keys:
+                t0 = env.now
+                yield from client.get(k)
+                lat_small.append(env.now - t0)
+            for k in big_keys:
+                t0 = env.now
+                yield from client.get(k)
+                lat_big.append(env.now - t0)
+
+    env.run(until=env.process(flow(), name="bench"))
+    stats = [s.flash.stats for s in cluster.shards]
+    gets = len(lat_small) + len(lat_big) + n_small + n_big
+    cmt_total = sum(s.cmt_hits + s.cmt_misses for s in stats)
+    lat_small.sort()
+    lat_big.sort()
+    return {
+        "inline": inline,
+        "small_get_p50_us": lat_small[len(lat_small) // 2] * 1e6,
+        "small_get_mean_us": sum(lat_small) / len(lat_small) * 1e6,
+        "big_get_p50_us": lat_big[len(lat_big) // 2] * 1e6,
+        "cmt_hit_rate": sum(s.cmt_hits for s in stats) / cmt_total,
+        "inline_get_fraction": sum(s.inline_gets for s in stats) / gets,
+        "page_reads": sum(s.page_reads for s in stats),
+        "inline_threshold_max": max(s.flash.inline_threshold for s in cluster.shards),
+    }
+
+
+# -- part B: elastic resharding under skew ------------------------------------
+
+
+def run_elastic_point(
+    n_hosts: int,
+    elastic: bool,
+    nthreads: int = 12,
+    ops_per_thread: int = 120,
+    params: Optional[SystemParams] = None,
+) -> dict:
+    """One cluster point, static vs elastic+rebalancing KV backend."""
+    p = params or default_params()
+    if elastic:
+        p = p.with_overrides(**ELASTIC_OVERRIDES)
+    cluster = build_cluster(n_hosts=n_hosts, params=p)
+    spec = ClusterJobSpec(
+        name="kvflash-elastic",
+        mode="randrw",
+        mount="/kvfs",
+        block_size=8192,
+        nthreads=nthreads,
+        ops_per_thread=ops_per_thread,
+        nfiles=16,
+        file_size=2 << 20,
+        read_fraction=0.7,
+        zipf_s=1.1,
+    )
+    res = run_cluster_job(cluster, spec)
+    waits = [s.queue_wait_total * 1e6 for s in cluster.kv_cluster.shards]
+    reb = cluster.rebalancer
+    return {
+        "n_hosts": n_hosts,
+        "elastic": elastic,
+        "aggregate_iops": res.iops,
+        "lat_p50_us": res.lat_p50_us,
+        "lat_p99_us": res.lat_p99_us,
+        "kv_queue_wait_us": sum(waits),
+        "kv_queue_wait_spread_us": max(waits) - min(waits),
+        "shards_final": len(cluster.kv_cluster.shards),
+        "splits": reb.splits if reb is not None else 0,
+        "migrated_keys": sum(m.keys for m in reb.migrations) if reb else 0,
+        "stale_bounces": sum(s.stale_bounces for s in cluster.kv_cluster.shards),
+        "errors": res.errors,
+    }
+
+
+# -- sweep --------------------------------------------------------------------
+
+
+def run(
+    hosts=DEFAULT_HOSTS, nthreads: int = 12, ops_per_thread: int = 120
+) -> dict:
+    inline_points = [run_inline_point(False), run_inline_point(True)]
+    elastic_points = []
+    for n in hosts:
+        for elastic in (False, True):
+            elastic_points.append(
+                run_elastic_point(
+                    n, elastic, nthreads=nthreads, ops_per_thread=ops_per_thread
+                )
+            )
+    return {"inline": inline_points, "elastic": elastic_points}
+
+
+def inline_table(points: list[dict]) -> ResultTable:
+    t = ResultTable(
+        "Small-value inlining on the flash-costed store (256 B values)",
+        ["inline", "get_p50_us", "get_mean_us", "cmt_hit_rate", "inline_gets", "page_reads"],
+    )
+    for p in points:
+        t.add_row(
+            "on" if p["inline"] else "off",
+            round(p["small_get_p50_us"], 2),
+            round(p["small_get_mean_us"], 2),
+            round(p["cmt_hit_rate"], 3),
+            round(p["inline_get_fraction"], 3),
+            p["page_reads"],
+        )
+    off = next(p for p in points if not p["inline"])
+    on = next(p for p in points if p["inline"])
+    t.note(
+        f"inlining saves {off['small_get_p50_us'] - on['small_get_p50_us']:.2f} us "
+        "p50 per small get (the skipped data-page read)"
+    )
+    return t
+
+
+def elastic_table(points: list[dict]) -> ResultTable:
+    t = ResultTable(
+        "Static vs elastic KV under Zipf 1.1 skew (randrw 70/30)",
+        ["n_hosts", "backend", "agg_iops", "kv_qwait_us", "qwait_spread_us", "shards", "splits"],
+    )
+    for p in points:
+        t.add_row(
+            p["n_hosts"],
+            "elastic" if p["elastic"] else "static",
+            round(p["aggregate_iops"], 0),
+            round(p["kv_queue_wait_us"], 1),
+            round(p["kv_queue_wait_spread_us"], 1),
+            p["shards_final"],
+            p["splits"],
+        )
+    t.note("elastic = consistent-hash ring + queue-wait-driven live shard splits")
+    return t
+
+
+def write_bench(results: dict, path: Optional[Path] = None) -> Path:
+    if path is None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / "BENCH_kvflash.json"
+    metrics: dict = {}
+    for p in results["inline"]:
+        tag = "inline/on" if p["inline"] else "inline/off"
+        metrics[f"{tag}/small_get_p50_us"] = round(p["small_get_p50_us"], 3)
+        metrics[f"{tag}/small_get_mean_us"] = round(p["small_get_mean_us"], 3)
+        metrics[f"{tag}/cmt_hit_rate"] = round(p["cmt_hit_rate"], 4)
+        metrics[f"{tag}/inline_get_fraction"] = round(p["inline_get_fraction"], 4)
+        metrics[f"{tag}/page_reads"] = p["page_reads"]
+    off = next(p for p in results["inline"] if not p["inline"])
+    on = next(p for p in results["inline"] if p["inline"])
+    metrics["inline/saving_p50_us"] = round(
+        off["small_get_p50_us"] - on["small_get_p50_us"], 3
+    )
+    for p in results["elastic"]:
+        tag = f"n{p['n_hosts']}/" + ("elastic" if p["elastic"] else "static")
+        metrics[f"{tag}/aggregate_iops"] = round(p["aggregate_iops"], 1)
+        metrics[f"{tag}/lat_p99_us"] = round(p["lat_p99_us"], 2)
+        metrics[f"{tag}/kv_queue_wait_us"] = round(p["kv_queue_wait_us"], 1)
+        metrics[f"{tag}/kv_queue_wait_spread_us"] = round(
+            p["kv_queue_wait_spread_us"], 1
+        )
+        metrics[f"{tag}/shards_final"] = p["shards_final"]
+        metrics[f"{tag}/splits"] = p["splits"]
+        metrics[f"{tag}/stale_bounces"] = p["stale_bounces"]
+        metrics[f"{tag}/errors"] = p["errors"]
+    envelope = {
+        "schema": SCHEMA_VERSION,
+        "seed": default_params().seed,
+        "git_sha": _git_sha(),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments.kvflash",
+        description="Flash inlining + elastic resharding sweeps.",
+    )
+    ap.add_argument("--hosts", default=",".join(str(n) for n in DEFAULT_HOSTS),
+                    help="comma-separated cluster sizes (default 1,2,4,8)")
+    ap.add_argument("--threads", type=int, default=12, help="threads per node")
+    ap.add_argument("--ops", type=int, default=120, help="ops per thread")
+    ap.add_argument("--no-json", action="store_true",
+                    help="skip writing results/BENCH_kvflash.json")
+    args = ap.parse_args(argv)
+    hosts = [int(x) for x in args.hosts.split(",") if x]
+    results = run(hosts, nthreads=args.threads, ops_per_thread=args.ops)
+    print(inline_table(results["inline"]).render())
+    print()
+    print(elastic_table(results["elastic"]).render())
+    if not args.no_json:
+        out = write_bench(results)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

@@ -6,8 +6,19 @@ prefix — inode KVs of one directory all start with the parent's 8-byte inode
 number — so ``readdir`` is a single-shard ordered scan.  Scans with a prefix
 shorter than 8 bytes fan out to every shard and merge.
 
+Two routing backends exist.  The static default hashes routing bytes onto a
+fixed shard list (blake2b mod N — bit-identical to every pre-elastic run).
+With ``kv_elastic`` the client instead holds a cloned
+:class:`~repro.kv.ring.HashRing` replica and stamps each request with its
+ring version; a server that has seen a newer ring answers
+``("__stale_ring__", state)``, the client installs the fresh state and
+re-routes.  That chase is the entire coherence protocol — no broadcasts.
+
 Cross-shard atomicity (rename moves keys between directories, hence shards)
 uses two-phase commit against the shard servers' prepare/commit/abort ops.
+Under elastic routing the whole transaction restarts on a stale ring
+(prepare carries the version; commit/abort address the staged participant
+by name and never re-route).
 
 Failure handling: when constructed with a :class:`RetryPolicy`, every RPC
 is raced against a per-attempt deadline and retried with exponential
@@ -27,9 +38,15 @@ from ..fault.retry import RetryBudgetExceeded, RetryPolicy, RpcTimeout, call_wit
 from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
-from .server import MSG_OVERHEAD
+from .ring import HashRing
+from .server import MSG_OVERHEAD, STALE_RING
 
 __all__ = ["KvClient", "KvTransactionError"]
+
+#: bound on consecutive stale-ring re-routes of one logical op; the ring
+#: version is monotonic, so each bounce makes progress — this only trips if
+#: the ring is being mutated pathologically fast
+_MAX_RING_CHASES = 32
 
 
 class KvTransactionError(RuntimeError):
@@ -45,6 +62,9 @@ class KvClient:
     routing bytes) or must fan out (returns None).  The defaults route by
     the first 8 bytes — KVFS installs a policy that colocates a directory's
     entries while spreading a file's blocks across shards.
+
+    ``ring`` (a private :class:`HashRing` replica) switches routing to the
+    consistent-hash ring and enables the stale-version re-route protocol.
     """
 
     #: flight-recorder hook; builders replace this with a live tracer
@@ -59,8 +79,9 @@ class KvClient:
         scan_route_fn=None,
         retry: Optional[RetryPolicy] = None,
         plane=None,
+        ring: Optional[HashRing] = None,
     ):
-        if not shard_names:
+        if not shard_names and ring is None:
             raise ValueError("need at least one shard")
         self.fabric = fabric
         self.src = src
@@ -71,12 +92,14 @@ class KvClient:
         )
         self.retry = retry
         self.plane = plane
+        self.ring = ring
         self._rng = fabric.env.substream(f"kv-retry:{src}")
         self._txseq = 0
         self._opseq = 0
         self.ops_issued = 0
         self.retries = 0
         self.timeouts_exhausted = 0
+        self.stale_reroutes = 0
 
     # -- failure handling ---------------------------------------------------------
     def _token(self) -> Optional[str]:
@@ -123,17 +146,55 @@ class KvClient:
 
     # -- routing ----------------------------------------------------------------
     def _shard_for(self, routing: bytes) -> str:
+        if self.ring is not None:
+            return self.ring.lookup(routing)
         digest = hashlib.blake2b(routing, digest_size=4).digest()
         return self.shards[int.from_bytes(digest, "little") % len(self.shards)]
 
     def route(self, key: bytes) -> str:
         return self._shard_for(self.route_fn(key))
 
+    def _shard_list(self) -> list[str]:
+        """Current fan-out set (the ring's shard set grows under the
+        rebalancer; the static list never changes)."""
+        return list(self.ring.shards) if self.ring is not None else self.shards
+
+    def _wrap(self, op: tuple) -> tuple:
+        return ("vr", self.ring.version, op) if self.ring is not None else op
+
+    def _is_stale(self, resp: Any) -> bool:
+        """Detect a stale-ring bounce and install the fresh state."""
+        if (
+            self.ring is not None
+            and type(resp) is tuple
+            and len(resp) == 2
+            and resp[0] == STALE_RING
+        ):
+            self.ring.install(resp[1])
+            self.stale_reroutes += 1
+            return True
+        return False
+
+    def _routed(
+        self, routing: bytes, op: tuple, size: int
+    ) -> Generator[Event, None, Any]:
+        """Route + call, chasing ring versions until the op lands."""
+        if self.ring is None:
+            resp = yield from self._call(self._shard_for(routing), op, size)
+            return resp
+        for _ in range(_MAX_RING_CHASES):
+            resp = yield from self._call(
+                self.ring.lookup(routing), self._wrap(op), size
+            )
+            if not self._is_stale(resp):
+                return resp
+        raise RuntimeError(f"ring chase did not converge for {op[0]}")
+
     # -- point ops ----------------------------------------------------------------
     def get(self, key: bytes) -> Generator[Event, None, Optional[bytes]]:
         self.ops_issued += 1
-        resp = yield from self._call(
-            self.route(key), ("get", key), MSG_OVERHEAD + len(key)
+        resp = yield from self._routed(
+            self.route_fn(key), ("get", key), MSG_OVERHEAD + len(key)
         )
         return resp
 
@@ -141,15 +202,15 @@ class KvClient:
         self.ops_issued += 1
         token = self._token()
         op = ("put", key, value) if token is None else ("put", key, value, token)
-        yield from self._call(
-            self.route(key), op, MSG_OVERHEAD + len(key) + len(value)
+        yield from self._routed(
+            self.route_fn(key), op, MSG_OVERHEAD + len(key) + len(value)
         )
 
     def delete(self, key: bytes) -> Generator[Event, None, None]:
         self.ops_issued += 1
         token = self._token()
         op = ("delete", key) if token is None else ("delete", key, token)
-        yield from self._call(self.route(key), op, MSG_OVERHEAD + len(key))
+        yield from self._routed(self.route_fn(key), op, MSG_OVERHEAD + len(key))
 
     def cas(
         self, key: bytes, expected: Optional[bytes], new: Optional[bytes]
@@ -163,7 +224,7 @@ class KvClient:
             if token is None
             else ("cas", key, expected, new, token)
         )
-        ok = yield from self._call(self.route(key), op, size)
+        ok = yield from self._routed(self.route_fn(key), op, size)
         return ok
 
     # -- scans ---------------------------------------------------------------------
@@ -173,23 +234,33 @@ class KvClient:
         self.ops_issued += 1
         routing = self.scan_route_fn(prefix)
         if routing is not None:
-            items = yield from self._call(
-                self._shard_for(routing),
-                ("scan", prefix, limit),
-                MSG_OVERHEAD + len(prefix),
+            items = yield from self._routed(
+                routing, ("scan", prefix, limit), MSG_OVERHEAD + len(prefix)
             )
             return items
-        # Unroutable prefix: fan out and merge.
-        merged: list[tuple[bytes, bytes]] = []
-        for shard in self.shards:
-            items = yield from self._call(
-                shard, ("scan", prefix, limit), MSG_OVERHEAD + len(prefix)
-            )
-            merged.extend(items)
-        merged.sort()
-        if limit is not None:
-            merged = merged[:limit]
-        return merged
+        # Unroutable prefix: fan out and merge.  Under elastic routing a
+        # stale bounce restarts the whole fan-out — the shard set itself may
+        # have changed.
+        for _ in range(_MAX_RING_CHASES):
+            merged: list[tuple[bytes, bytes]] = []
+            stale = False
+            for shard in self._shard_list():
+                items = yield from self._call(
+                    shard,
+                    self._wrap(("scan", prefix, limit)),
+                    MSG_OVERHEAD + len(prefix),
+                )
+                if self._is_stale(items):
+                    stale = True
+                    break
+                merged.extend(items)
+            if stale:
+                continue
+            merged.sort()
+            if limit is not None:
+                merged = merged[:limit]
+            return merged
+        raise RuntimeError("ring chase did not converge for scan fan-out")
 
     # -- atomic batches -----------------------------------------------------------
     def batch_commit(
@@ -199,49 +270,80 @@ class KvClient:
 
         Single-shard batches use the server's local atomic batch; cross-shard
         batches run two-phase commit.  Raises :class:`KvTransactionError` if
-        any participant refuses to prepare (lock conflict).
+        any participant refuses to prepare (lock conflict).  Under elastic
+        routing a stale-ring bounce re-groups the ops and restarts the
+        transaction (aborting any already-prepared participant first).
         """
-        by_shard: dict[str, list[tuple]] = {}
         for op in ops:
             if op[0] not in ("put", "delete"):
                 raise ValueError(f"batch may contain put/delete only, got {op[0]!r}")
-            by_shard.setdefault(self.route(op[1]), []).append(op)
-        if not by_shard:
+        if not ops:
             return
         self.ops_issued += 1
-        if len(by_shard) == 1:
-            (shard, shard_ops), = by_shard.items()
-            size = MSG_OVERHEAD + sum(
-                len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
-            )
-            token = self._token()
-            op = ("batch", shard_ops) if token is None else ("batch", shard_ops, token)
-            yield from self._call(shard, op, size)
-            return
-        # Two-phase commit.  The txid doubles as the idempotency handle: a
-        # retried prepare for an already-staged txid acks instead of
-        # conflicting with its own locks, and commit/abort are natural no-ops
-        # the second time.
+        batch_token = self._token()
+        for _ in range(_MAX_RING_CHASES):
+            by_shard: dict[str, list[tuple]] = {}
+            for op in ops:
+                by_shard.setdefault(self.route(op[1]), []).append(op)
+            if len(by_shard) == 1:
+                (shard, shard_ops), = by_shard.items()
+                size = MSG_OVERHEAD + sum(
+                    len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
+                )
+                req = (
+                    ("batch", shard_ops)
+                    if batch_token is None
+                    else ("batch", shard_ops, batch_token)
+                )
+                resp = yield from self._call(shard, self._wrap(req), size)
+                if self._is_stale(resp):
+                    continue
+                return
+            done = yield from self._two_phase(by_shard)
+            if done:
+                return
+        raise RuntimeError("ring chase did not converge for batch_commit")
+
+    def _two_phase(
+        self, by_shard: dict[str, list[tuple]]
+    ) -> Generator[Event, None, bool]:
+        """One 2PC attempt; False means a stale ring was installed and the
+        caller must re-group and retry the whole transaction."""
+        # The txid doubles as the idempotency handle: a retried prepare for
+        # an already-staged txid acks instead of conflicting with its own
+        # locks, and commit/abort are natural no-ops the second time.
         self._txseq += 1
         txid = f"{self.src}:{self._txseq}"
         prepared: list[str] = []
         ok_all = True
+        stale = False
         for shard, shard_ops in by_shard.items():
             size = MSG_OVERHEAD + sum(
                 len(o[1]) + (len(o[2]) if len(o) > 2 else 0) for o in shard_ops
             )
-            ok = yield from self._call(shard, ("prepare", txid, shard_ops), size)
+            ok = yield from self._call(
+                shard, self._wrap(("prepare", txid, shard_ops)), size
+            )
+            if self._is_stale(ok):
+                stale = True
+                break
             if ok:
                 prepared.append(shard)
             else:
                 ok_all = False
                 break
-        if not ok_all:
+        if stale or not ok_all:
+            # Commit/abort address the staged participant by name: they are
+            # never version-wrapped (the stage lives where it lives, even if
+            # the keys' ring ownership moved meanwhile).
             for shard in prepared:
                 try:
                     yield from self._call(shard, ("abort", txid), MSG_OVERHEAD)
                 except RetryBudgetExceeded:
                     pass  # participant unreachable; its locks die with it
+            if stale:
+                return False
             raise KvTransactionError(f"2PC prepare failed for {txid}")
         for shard in by_shard:
             yield from self._call(shard, ("commit", txid), MSG_OVERHEAD)
+        return True

@@ -224,6 +224,37 @@ class LsmEngine:
         self.stats.bytes_compacted += new_run.size_bytes()
         self.runs = [new_run] if live else []
 
+    def purge(self, pred) -> int:
+        """Physically drop every key matching ``pred`` from all levels.
+
+        Used after a live migration moved a key range to another shard: the
+        source must stop owning the data *without* writing per-key
+        tombstones (the range no longer routes here, so tombstones would
+        never be compacted against reads).  Returns the number of entries
+        dropped.  The WAL is filtered too, so a crash cannot resurrect a
+        moved key.
+        """
+        dropped = 0
+        keep_mem = {}
+        for k, v in self.memtable.items():
+            if pred(k):
+                dropped += 1
+            else:
+                keep_mem[k] = v
+        self.memtable = keep_mem
+        self.wal = [(k, v) for k, v in self.wal if not pred(k)]
+        new_runs = []
+        for run in self.runs:
+            kept = [(k, v) for k, v in zip(run.keys, run.values) if not pred(k)]
+            dropped += len(run) - len(kept)
+            if kept:
+                new_runs.append(SortedRun(kept))
+        self.runs = new_runs
+        self._mem_bytes = sum(
+            len(k) + (len(v) if v is not None else 0) for k, v in self.memtable.items()
+        )
+        return dropped
+
     def crash_recover(self) -> int:
         """Simulate a crash: lose the memtable, replay the WAL into a new one.
 

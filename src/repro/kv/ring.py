@@ -1,0 +1,128 @@
+"""Versioned consistent-hash ring for elastic KV routing (DESIGN.md §14).
+
+Replaces the static ``blake2b(routing) mod N`` map when ``kv_elastic`` is
+on.  Each shard owns ``kv_ring_vnodes`` points on a 64-bit ring; a key's
+routing bytes hash to a point and the next shard point clockwise owns it.
+
+Two properties the rebalancer depends on:
+
+* **versioning** — every mutation bumps ``version``.  Clients carry their
+  ring version on each request; a server holding a newer *authority* ring
+  answers ``("__stale_ring__", state)`` instead of executing, and the
+  client installs the fresh state and re-routes.  This is how a live
+  cutover propagates without any broadcast.
+* **deterministic splits** — :meth:`add_shard` with ``steal_from`` places
+  the new shard's points at the midpoints of the victim's largest arcs,
+  so a split moves (close to) half the victim's keyspace, and the moved
+  range is a pure function of the pre-split ring — both the rebalancer's
+  migration filter and the post-cutover routing agree on it exactly.
+
+State is a plain tuple (version, shards, points) — copyable between the
+cluster's authority ring and each client's cached replica.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Optional, Sequence
+
+__all__ = ["HashRing", "RING_SPACE"]
+
+#: the ring is the space of 64-bit blake2b digests
+RING_SPACE = 1 << 64
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and a version counter."""
+
+    def __init__(self, shard_names: Sequence[str], vnodes: int = 64, version: int = 1):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self.version = version
+        self.shards: list[str] = []
+        #: sorted (point, owner) pairs
+        self._points: list[tuple[int, str]] = []
+        for name in shard_names:
+            self._insert(name, self._uniform_points(name))
+        if not self._points:
+            raise ValueError("need at least one shard")
+
+    # -- construction ----------------------------------------------------------
+    def _uniform_points(self, name: str) -> list[int]:
+        return [_hash64(f"{name}#v{i}".encode()) for i in range(self.vnodes)]
+
+    def _insert(self, name: str, points: list[int]) -> None:
+        if name in self.shards:
+            raise ValueError(f"shard {name!r} already on the ring")
+        self.shards.append(name)
+        for pt in points:
+            bisect.insort(self._points, (pt, name))
+
+    # -- lookups ---------------------------------------------------------------
+    def lookup(self, routing: bytes) -> str:
+        """The shard owning ``routing``'s point (clockwise successor)."""
+        h = _hash64(routing)
+        i = bisect.bisect_right(self._points, (h, "￿"))
+        if i == len(self._points):
+            i = 0  # wrap
+        return self._points[i][1]
+
+    def arcs_of(self, name: str) -> list[tuple[int, int]]:
+        """(start, end] arcs owned by ``name``; end - start may wrap."""
+        out = []
+        n = len(self._points)
+        for i, (pt, owner) in enumerate(self._points):
+            if owner != name:
+                continue
+            prev = self._points[i - 1][0] if n > 1 else pt - RING_SPACE
+            out.append((prev, pt))
+        return out
+
+    # -- mutation --------------------------------------------------------------
+    def add_shard(self, name: str, steal_from: Optional[str] = None) -> None:
+        """Add a shard; with ``steal_from``, split that shard's keyspace.
+
+        Split points land at the midpoints of the victim's ``vnodes``
+        largest arcs (ties broken by position — fully deterministic), so
+        the new shard takes the trailing half of each stolen arc.
+        """
+        if steal_from is None:
+            self._insert(name, self._uniform_points(name))
+        else:
+            arcs = self.arcs_of(steal_from)
+            if not arcs:
+                raise ValueError(f"{steal_from!r} owns no arcs")
+            arcs.sort(key=lambda a: ((a[1] - a[0]) % RING_SPACE, a[1]), reverse=True)
+            points = [
+                (a[0] + ((a[1] - a[0]) % RING_SPACE) // 2) % RING_SPACE
+                for a in arcs[: self.vnodes]
+            ]
+            self._insert(name, points)
+        self.version += 1
+
+    # -- state replication ------------------------------------------------------
+    def state(self) -> tuple:
+        return (self.version, tuple(self.shards), tuple(self._points))
+
+    def install(self, state: tuple) -> None:
+        """Adopt a (newer) state captured from the authority ring."""
+        version, shards, points = state
+        if version < self.version:
+            return  # never roll back
+        self.version = version
+        self.shards = list(shards)
+        self._points = [tuple(p) for p in points]
+
+    def clone(self) -> "HashRing":
+        ring = object.__new__(HashRing)
+        ring.vnodes = self.vnodes
+        ring.version = self.version
+        ring.shards = list(self.shards)
+        ring._points = list(self._points)
+        return ring

@@ -142,15 +142,22 @@ class Ext4Fs:
 
     def _ensure_blocks(
         self, tx, inode: DiskInode, first_lblock: int, count: int
-    ) -> Generator[Event, None, None]:
-        """Allocate any unmapped blocks in [first, first+count)."""
+    ) -> Generator[Event, None, set[int]]:
+        """Allocate any unmapped blocks in [first, first+count).
+
+        Returns the set of logical blocks that were freshly allocated.  The
+        device blocks behind them may be recycled from a truncated/unlinked
+        file and still hold stale bytes, so write paths must treat them as
+        zero-filled (ext4's "new" extent state) instead of reading them for
+        RMW edges.
+        """
         missing: list[int] = [
             lb
             for lb in range(first_lblock, first_lblock + count)
             if inode.map_block(lb) is None
         ]
         if not missing:
-            return
+            return set()
         # Allocate runs of consecutive logical blocks together.
         runs: list[tuple[int, int]] = []
         start = missing[0]
@@ -173,6 +180,7 @@ class Ext4Fs:
                 lb += dlen
         self._journal_inode(tx, inode)
         yield from ()
+        return set(missing)
 
     def _runs_for(self, inode: DiskInode, first_lblock: int, count: int) -> list[tuple[int, int, int]]:
         """(lblock, dblock or -1 for hole, run length) covering the range."""
@@ -313,7 +321,7 @@ class Ext4Fs:
             first = offset // BLOCK
             last = (offset + len(data) - 1) // BLOCK
             tx = self.journal.begin()
-            yield from self._ensure_blocks(tx, inode, first, last - first + 1)
+            fresh = yield from self._ensure_blocks(tx, inode, first, last - first + 1)
             if offset + len(data) > inode.size:
                 inode.size = offset + len(data)
                 inode.mtime = int(self.env.now * 1e6)
@@ -321,15 +329,15 @@ class Ext4Fs:
             if len(tx):
                 yield from self.journal.commit(tx)
             if direct:
-                yield from self._write_direct(inode, offset, data)
+                yield from self._write_direct(inode, offset, data, fresh)
             else:
-                yield from self._write_buffered(inode, offset, data)
+                yield from self._write_buffered(inode, offset, data, fresh)
             return len(data)
         finally:
             self._end()
 
     def _write_direct(
-        self, inode: DiskInode, offset: int, data: bytes
+        self, inode: DiskInode, offset: int, data: bytes, fresh: set[int] = frozenset()
     ) -> Generator[Event, None, None]:
         first = offset // BLOCK
         last = (offset + len(data) - 1) // BLOCK
@@ -347,10 +355,13 @@ class Ext4Fs:
         if head_pad or (tail_pad and last == first):
             # The first block needs RMW when the write is head-unaligned, or
             # when it is a single tail-padded block (even if head-aligned).
-            db = inode.map_block(first)
-            old = yield from self.device.read_blocks(db, 1)
-            buf[:BLOCK] = old
-        if tail_pad and last != first:
+            # Freshly allocated blocks read as zeros: the device block may be
+            # recycled from a truncated file and still hold stale bytes.
+            if first not in fresh:
+                db = inode.map_block(first)
+                old = yield from self.device.read_blocks(db, 1)
+                buf[:BLOCK] = old
+        if tail_pad and last != first and last not in fresh:
             db = inode.map_block(last)
             old = yield from self.device.read_blocks(db, 1)
             buf[-BLOCK:] = old
@@ -367,7 +378,7 @@ class Ext4Fs:
             pos += run * BLOCK
 
     def _write_buffered(
-        self, inode: DiskInode, offset: int, data: bytes
+        self, inode: DiskInode, offset: int, data: bytes, fresh: set[int] = frozenset()
     ) -> Generator[Event, None, None]:
         first = offset // BLOCK
         last = (offset + len(data) - 1) // BLOCK
@@ -381,7 +392,7 @@ class Ext4Fs:
             else:
                 page_old = self.cache.get(inode.ino, lb)
                 if page_old is None:
-                    db = inode.map_block(lb)
+                    db = None if lb in fresh else inode.map_block(lb)
                     page_old = (
                         (yield from self.device.read_blocks(db, 1)) if db is not None else bytes(BLOCK)
                     )

@@ -130,6 +130,54 @@ class SystemParams:
     kv_backend_read_bw: float = 8.0e9
     kv_backend_write_bw: float = 5.5e9
 
+    # ---- flash-costed KV engine (see DESIGN.md §14) ------------------------------
+    #: model the shard's flash device explicitly: page reads/writes and
+    #: erase-block GC charged on the simulated clock instead of the fixed
+    #: get/put service split above.  False keeps the historical fixed-cost
+    #: path bit-identical.
+    kv_flash_model: bool = False
+    kv_flash_page: int = 4 * KiB
+    kv_flash_read_us: float = 35.0 * US  # one flash page read
+    kv_flash_write_us: float = 60.0 * US  # one flash page program
+    kv_flash_erase_us: float = 2000.0 * US  # one erase-block erase
+    kv_flash_block_pages: int = 64  # pages per erase block
+    #: fraction of still-live pages the GC must relocate per reclaimed block
+    kv_flash_gc_live: float = 0.2
+    #: cached mapping table: K2P entries held in shard DRAM.  A miss costs a
+    #: translation-page flash read before the data page can be addressed.
+    kv_cmt_entries: int = 4096
+    kv_cmt_hit_us: float = 0.3 * US  # DRAM mapping lookup
+    #: small-value inlining: values at or below the threshold live inside the
+    #: mapping entry itself, so a get needs no data-page read (KVPack-style).
+    kv_inline_enabled: bool = False
+    kv_inline_max: int = 512  # static threshold / adaptive ceiling
+    #: 0 = static threshold; N > 0 re-derives the threshold from the observed
+    #: value-size histogram every N engine operations (KVPack-D style)
+    kv_inline_adapt_window: int = 0
+
+    # ---- elastic KV: hash ring + rebalancer (see DESIGN.md §14) -------------------
+    #: route requests through a versioned consistent-hash ring instead of the
+    #: static blake2b-mod-N map.  Required for live resharding.  False keeps
+    #: modulo routing bit-identical.
+    kv_elastic: bool = False
+    kv_ring_vnodes: int = 64  # virtual nodes per shard
+    #: run the queue-wait-driven rebalancer (requires kv_elastic)
+    kv_rebalance: bool = False
+    kv_rebalance_interval: float = 2e-3  # seconds between load scans
+    #: split the hottest shard when its queue-wait share over one interval
+    #: exceeds mean + this multiple of the cross-shard spread
+    kv_rebalance_threshold: float = 40.0 * US
+    kv_max_shards: int = 32
+    #: migration stream: bandwidth and chunk size for live key-range moves
+    kv_migrate_bw: float = 2.0e9
+    kv_migrate_chunk: int = 256 * KiB
+
+    # ---- KV server idempotency-filter bounds --------------------------------------
+    kv_idem_capacity: int = 8192
+    #: seconds a memoised response stays replayable; 0 = no TTL (size-bounded
+    #: FIFO only, the historical behaviour)
+    kv_idem_ttl: float = 0.0
+
     # ---- DFS backend ----------------------------------------------------------------
     n_mds: int = 4
     n_dataservers: int = 6

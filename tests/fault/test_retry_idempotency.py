@@ -88,6 +88,50 @@ def test_call_with_timeout_races_the_deadline():
     env.run(until=env.process(scenario()))
 
 
+def test_idempotency_filter_ttl_expires_old_tokens():
+    clock = [0.0]
+    f = IdempotencyFilter(capacity=64, ttl=1.0, now_fn=lambda: clock[0])
+    f.put("a", "ra")
+    clock[0] = 0.6
+    f.put("b", "rb")
+    assert f.check("a") == (True, "ra")
+    clock[0] = 1.2  # "a" (stored at 0.0) is past the 1s ttl; "b" is not
+    assert f.check("a") == (False, None)
+    assert f.check("b") == (True, "rb")
+    assert f.expirations == 1
+    clock[0] = 5.0
+    assert f.check("b") == (False, None)
+    assert f.expirations == 2
+    assert len(f) == 0
+
+
+def test_idempotency_filter_ttl_ages_from_first_reservation():
+    from repro.fault.idempotency import PENDING
+
+    clock = [0.0]
+    f = IdempotencyFilter(capacity=4, ttl=1.0, now_fn=lambda: clock[0])
+    f.put("t", PENDING)
+    clock[0] = 0.9
+    f.put("t", "resp")  # PENDING -> final must not reset the age
+    assert f.check("t") == (True, "resp")
+    clock[0] = 1.05  # past the *reservation* time + ttl
+    assert f.check("t") == (False, None)
+
+
+def test_idempotency_filter_ttl_requires_clock():
+    with pytest.raises(ValueError):
+        IdempotencyFilter(ttl=1.0)
+
+
+def test_idempotency_filter_ttl_zero_is_size_bounded_only():
+    f = IdempotencyFilter(capacity=2, ttl=0.0)
+    for i in range(5):
+        f.put(f"t{i}", i)
+    assert len(f) == 2
+    assert f.expirations == 0
+    assert f.check("t4") == (True, 4)
+
+
 def test_idempotency_filter_memoises_and_caps():
     f = IdempotencyFilter(capacity=4)
     assert f.check("t1") == (False, None)

@@ -1,0 +1,207 @@
+"""Flash device model: CMT, GC, small-value inlining, adaptive threshold."""
+
+import pytest
+
+from repro.kv.client import KvClient
+from repro.kv.flash import FlashKvModel
+from repro.kv.server import KvCluster
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.network import Fabric
+
+
+def run(env, gen):
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+def make_model(**overrides):
+    params = default_params().with_overrides(kv_flash_model=True, **overrides)
+    env = Environment(seed=params.seed)
+    return env, FlashKvModel(env, params)
+
+
+# -- CMT --------------------------------------------------------------------
+
+
+def test_cmt_miss_then_hit():
+    env, m = make_model()
+
+    def flow():
+        yield from m.charge_get(b"k1", b"v" * 100)
+        t_miss = env.now
+        yield from m.charge_get(b"k1", b"v" * 100)
+        return t_miss, env.now - t_miss
+
+    t_miss, t_hit = run(env, flow())
+    assert m.stats.cmt_misses == 1 and m.stats.cmt_hits == 1
+    # The miss paid a translation-page flash read; the hit paid DRAM.
+    assert t_hit < t_miss
+
+
+def test_cmt_lru_eviction():
+    env, m = make_model(kv_cmt_entries=2)
+
+    def flow():
+        yield from m.charge_get(b"a", None)
+        yield from m.charge_get(b"b", None)
+        yield from m.charge_get(b"a", None)  # refresh a: b becomes LRU
+        yield from m.charge_get(b"c", None)  # evicts b
+        yield from m.charge_get(b"a", None)  # still cached
+        yield from m.charge_get(b"b", None)  # miss again
+
+    run(env, flow())
+    assert m.stats.cmt_misses == 4  # a, b, c, b
+    assert m.stats.cmt_hits == 2  # a, a
+
+
+# -- write path + GC --------------------------------------------------------
+
+
+def test_small_puts_coalesce_into_shared_programs():
+    env, m = make_model(kv_flash_block_pages=1 << 20)  # keep GC out of the count
+    page = m.params.kv_flash_page
+
+    def flow():
+        # MAP_ENTRY_BYTES each: many mapping updates share one page program.
+        for i in range(page // FlashKvModel.MAP_ENTRY_BYTES):
+            yield from m.charge_put(b"k%03d" % i, b"x" * (2 * page))
+
+    run(env, flow())
+    # Each put programs 2 data pages; the 128 mapping entries add exactly
+    # one more page in total.
+    n = m.params.kv_flash_page // FlashKvModel.MAP_ENTRY_BYTES
+    assert m.stats.page_writes == 2 * n + 1
+
+
+def test_gc_fires_per_erase_block():
+    env, m = make_model(kv_flash_block_pages=4, kv_flash_gc_live=0.5)
+
+    def flow():
+        before = env.now
+        yield from m.charge_put(b"big", b"z" * (4 * m.params.kv_flash_page))
+        return env.now - before
+
+    elapsed = run(env, flow())
+    assert m.stats.erases == 1
+    assert m.stats.gc_page_moves == 2  # 50% of a 4-page block relocated
+    p = m.params
+    expected = (
+        4 * p.kv_flash_write_us
+        + p.kv_flash_erase_us
+        + 2 * (p.kv_flash_read_us + p.kv_flash_write_us)
+    )
+    assert elapsed == pytest.approx(expected)
+
+
+# -- inlining ----------------------------------------------------------------
+
+
+def test_inlined_get_skips_data_pages():
+    env, m = make_model(kv_inline_enabled=True, kv_inline_max=512)
+
+    def flow():
+        yield from m.charge_put(b"small", b"s" * 256)  # inlined
+        yield from m.charge_put(b"large", b"L" * 8192)  # page-resident
+        r0 = m.stats.page_reads
+        yield from m.charge_get(b"small", b"s" * 256)
+        small_reads = m.stats.page_reads - r0
+        r0 = m.stats.page_reads
+        yield from m.charge_get(b"large", b"L" * 8192)
+        large_reads = m.stats.page_reads - r0
+        return small_reads, large_reads
+
+    small_reads, large_reads = run(env, flow())
+    assert m.stats.inline_puts == 1
+    assert m.stats.inline_gets == 1
+    assert small_reads == 0  # CMT hit: value travels with the mapping entry
+    assert large_reads == 8192 // m.params.kv_flash_page
+
+
+def test_inline_disabled_always_reads_data_pages():
+    env, m = make_model(kv_inline_enabled=False)
+
+    def flow():
+        yield from m.charge_put(b"small", b"s" * 256)
+        r0 = m.stats.page_reads
+        yield from m.charge_get(b"small", b"s" * 256)
+        return m.stats.page_reads - r0
+
+    assert run(env, flow()) == 1
+    assert m.stats.inline_puts == 0
+
+
+def test_adaptive_threshold_follows_read_traffic():
+    env, m = make_model(
+        kv_inline_enabled=True, kv_inline_max=1024, kv_inline_adapt_window=64
+    )
+    m.inline_threshold = 0  # start pessimistic; adaptation must raise it
+
+    def flow():
+        # Read-heavy small values: inlining clearly pays.
+        for i in range(16):
+            yield from m.charge_put(b"k%02d" % i, b"v" * 200)
+        for _ in range(8):
+            for i in range(16):
+                yield from m.charge_get(b"k%02d" % i, b"v" * 200)
+
+    run(env, flow())
+    assert m.stats.adaptations >= 1
+    assert m.inline_threshold >= 256  # covers the 200-byte population
+
+
+# -- end to end through the shard server -------------------------------------
+
+
+def _latency_probe(flash_overrides):
+    params = default_params().with_overrides(
+        kv_shards=2, kv_flash_model=True, **flash_overrides
+    )
+    env = Environment(seed=params.seed)
+    fabric = Fabric(
+        env, latency=params.net_latency, default_bandwidth=params.net_bandwidth
+    )
+    cluster = KvCluster(env, fabric, params)
+    fabric.attach("client")
+    client = KvClient(fabric, "client", cluster.shard_names())
+
+    def flow():
+        for i in range(32):
+            yield from client.put(b"attr%04d" % i, b"a" * 256)
+        # Warm pass fills the CMT, timed pass measures steady-state gets.
+        for i in range(32):
+            yield from client.get(b"attr%04d" % i)
+        t0 = env.now
+        for i in range(32):
+            yield from client.get(b"attr%04d" % i)
+        return (env.now - t0) / 32
+
+    p = env.process(flow())
+    lat = env.run(until=p)
+    return lat, cluster
+
+
+def test_inlining_cuts_small_value_get_latency():
+    lat_off, _ = _latency_probe({"kv_inline_enabled": False})
+    lat_on, cluster_on = _latency_probe(
+        {"kv_inline_enabled": True, "kv_inline_max": 512}
+    )
+    assert lat_on < lat_off
+    # The saving is the data-page read each get skipped.
+    saved = lat_off - lat_on
+    assert saved == pytest.approx(default_params().kv_flash_read_us, rel=0.2)
+    assert sum(s.flash.stats.inline_gets for s in cluster_on.shards) > 0
+
+
+def test_flash_metrics_exported():
+    env, m = make_model()
+
+    def flow():
+        yield from m.charge_put(b"k", b"v" * 100)
+        yield from m.charge_get(b"k", b"v" * 100)
+
+    run(env, flow())
+    out = m.metrics("kv.flash")
+    assert out["kv.flash.cmt_hits"] == 1
+    assert out["kv.flash.page_reads"] == 1  # the (non-inlined) data page
+    assert "kv.flash.inline_threshold" in out

@@ -1,0 +1,128 @@
+"""Golden pin: the default-params KV path is bit-identical across PRs.
+
+The flash/elastic work (flash model, hash-ring routing, rebalancer) must be
+invisible when switched off: ``kv_flash_model=False`` and no rebalancer leave
+every service time, queue wait, and reply byte exactly where the static
+modulo-routed zero-cost-engine path put them.  This probe drives the KV
+mainline — small/large puts and gets, deletes, cas, small-value scans
+(single-shard and fan-out), single-shard batches, and *uncontended*
+cross-shard 2PC — from two concurrent clients and pins a sha256 over the
+full timing + stats + results trace.
+
+The probe deliberately avoids the two paths the satellite bug-fixes change
+on purpose: large-value scans (now charged against backend read bandwidth)
+and lock-contended 2PC (busy-poll replaced by event parking).
+
+The signature was captured on the pre-change tree (PR 7 head) and must not
+move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.kv.client import KvClient
+from repro.kv.server import KvCluster
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.network import Fabric
+
+GOLDEN_KV_DEFAULT = "3757e0d850e78eb43184d12e6b82125db77b8fbdf76dd4acc26582b1b4ddff0e"
+
+BIG = 64 * 1024  # over kv_meta_value_limit: takes the media-bandwidth path
+
+
+def _client_a(env: Environment, cli: KvClient, out: list):
+    for i in range(24):
+        key = b"A%04d" % i
+        value = (b"a" * BIG) if i % 6 == 0 else (b"small-%d" % i)
+        yield from cli.put(key, value)
+    for i in range(24):
+        v = yield from cli.get(b"A%04d" % i)
+        out.append((b"A%04d" % i, None if v is None else len(v)))
+    for i in range(0, 24, 5):
+        yield from cli.delete(b"A%04d" % i)
+    ok = yield from cli.cas(b"A0001", b"small-1", b"swapped")
+    out.append(("cas1", ok))
+    ok = yield from cli.cas(b"A0002", b"wrong", b"nope")
+    out.append(("cas2", ok))
+    # Single-shard batch.
+    yield from cli.batch_commit([("put", b"A0001x", b"y")])
+    # Uncontended cross-shard 2PC over disjoint keys.
+    yield from cli.batch_commit(
+        [("put", b"TXa-%02d" % i, b"v%d" % i) for i in range(6)]
+    )
+    # Scans stick to small values: large scanned values now charge backend
+    # read bandwidth (an intentional fix this golden must not pin).
+    items = yield from cli.scan_prefix(b"TXa", limit=10)
+    out.append(("scanA", [(k, len(v)) for k, v in items]))
+
+
+def _client_b(env: Environment, cli: KvClient, out: list):
+    for i in range(24):
+        key = b"B%04d" % i
+        value = (b"b" * BIG) if i % 7 == 0 else (b"beta-%d" % i)
+        yield from cli.put(key, value)
+    for i in range(24):
+        v = yield from cli.get(b"B%04d" % i)
+        out.append((b"B%04d" % i, None if v is None else len(v)))
+    yield from cli.batch_commit(
+        [("put", b"TXb-%02d" % i, b"w%d" % i) for i in range(6)]
+        + [("delete", b"B0003")]
+    )
+    # Fan-out scan over a short (unroutable) prefix of small values only.
+    items = yield from cli.scan_prefix(b"TX", limit=50)
+    out.append(("scanTX", [(k, len(v)) for k, v in items]))
+
+
+def probe_snapshot() -> dict:
+    """Run the probe workload and return a deterministic trace dict."""
+    params = default_params().with_overrides(kv_shards=4)
+    env = Environment(seed=params.seed)
+    fabric = Fabric(env, latency=params.net_latency, default_bandwidth=params.net_bandwidth)
+    cluster = KvCluster(env, fabric, params)
+    outs: dict[str, list] = {"a": [], "b": []}
+    clients = []
+    for cname, fn in (("ca", _client_a), ("cb", _client_b)):
+        ep = fabric.attach(cname)
+        cli = KvClient(fabric, cname, cluster.shard_names())
+        clients.append(cli)
+        env.process(fn(env, cli, outs[cname[-1]]), name=cname)
+    env.run()
+    snap = {
+        "now": env.now,
+        "results": outs,
+        "client_ops": [c.ops_issued for c in clients],
+        "shards": [
+            {
+                "name": s.name,
+                "ops_served": s.ops_served,
+                "queue_wait_total": s.queue_wait_total,
+                "engine": {
+                    "puts": s.engine.stats.puts,
+                    "gets": s.engine.stats.gets,
+                    "deletes": s.engine.stats.deletes,
+                    "scans": s.engine.stats.scans,
+                    "flushes": s.engine.stats.flushes,
+                    "bytes": s.engine.approximate_bytes(),
+                    "live": s.engine.count_live(),
+                },
+            }
+            for s in cluster.shards
+        ],
+    }
+    return snap
+
+
+def _signature(obj) -> str:
+    blob = json.dumps(obj, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def test_default_kv_path_bit_identical():
+    sig = _signature(probe_snapshot())
+    assert sig == GOLDEN_KV_DEFAULT, (
+        "default-params KV path drifted from the pre-flash/elastic golden; "
+        f"got {sig}"
+    )

@@ -1,0 +1,78 @@
+"""Consistent-hash ring: determinism, balance, versioned splits."""
+
+import pytest
+
+from repro.kv.ring import HashRing
+
+
+KEYS = [b"key-%05d" % i for i in range(4000)]
+
+
+def test_lookup_deterministic_and_total():
+    a = HashRing(["kv0", "kv1", "kv2"], vnodes=64)
+    b = HashRing(["kv0", "kv1", "kv2"], vnodes=64)
+    owners = {k: a.lookup(k) for k in KEYS}
+    assert all(b.lookup(k) == o for k, o in owners.items())
+    # Every shard owns a meaningful share with 64 vnodes.
+    counts = {s: 0 for s in a.shards}
+    for o in owners.values():
+        counts[o] += 1
+    assert all(c > len(KEYS) * 0.15 for c in counts.values())
+
+
+def test_add_shard_moves_keys_only_from_victim():
+    ring = HashRing(["kv0", "kv1", "kv2"], vnodes=32)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_shard("kv3", steal_from="kv1")
+    moved = taken_from = 0
+    for k in KEYS:
+        after = ring.lookup(k)
+        if after != before[k]:
+            moved += 1
+            assert after == "kv3"  # only the new shard gains keys
+            assert before[k] == "kv1"  # and only from the victim
+            taken_from += 1
+    assert moved > 0
+    # Midpoint splits take roughly half the victim's keyspace.
+    victim_before = sum(1 for o in before.values() if o == "kv1")
+    assert 0.25 * victim_before < moved < 0.75 * victim_before
+
+
+def test_split_is_a_pure_function_of_the_ring():
+    r1 = HashRing(["kv0", "kv1"], vnodes=32)
+    r2 = HashRing(["kv0", "kv1"], vnodes=32)
+    r1.add_shard("kv2", steal_from="kv0")
+    r2.add_shard("kv2", steal_from="kv0")
+    assert r1.state() == r2.state()
+
+
+def test_version_bumps_and_install():
+    ring = HashRing(["kv0", "kv1"], vnodes=16)
+    assert ring.version == 1
+    replica = ring.clone()
+    ring.add_shard("kv2")
+    assert ring.version == 2
+    assert replica.version == 1  # clones are independent
+    replica.install(ring.state())
+    assert replica.version == 2
+    assert all(replica.lookup(k) == ring.lookup(k) for k in KEYS[:500])
+    # Never roll back to an older state.
+    old = HashRing(["kv0", "kv1"], vnodes=16).state()
+    replica.install(old)
+    assert replica.version == 2
+
+
+def test_uniform_add_without_victim():
+    ring = HashRing(["kv0"], vnodes=64)
+    before = {k: ring.lookup(k) for k in KEYS}
+    assert set(before.values()) == {"kv0"}
+    ring.add_shard("kv1")
+    after = {k: ring.lookup(k) for k in KEYS}
+    share = sum(1 for o in after.values() if o == "kv1") / len(KEYS)
+    assert 0.3 < share < 0.7
+
+
+def test_duplicate_shard_rejected():
+    ring = HashRing(["kv0", "kv1"], vnodes=8)
+    with pytest.raises(ValueError):
+        ring.add_shard("kv0")

@@ -1,0 +1,156 @@
+"""2PC lock hygiene: retried prepares, aborts, crashes, parked writers.
+
+The lock table is pure server state; these tests drive prepare/commit/abort
+frames directly over the fabric (as a retrying client would) and assert that
+no code path leaks a lock or strands a parked writer.
+"""
+
+from repro.fault import retry_policy_from
+from repro.kv.client import KvClient
+from repro.kv.server import KvCluster
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.network import Fabric
+
+
+def make_rig(**overrides):
+    p = default_params().with_overrides(kv_shards=2, **overrides)
+    env = Environment(seed=p.seed)
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    cluster = KvCluster(env, fabric, p)
+    fabric.attach("driver")
+    return env, fabric, cluster, p
+
+
+def rpc(fabric, dst, payload):
+    return fabric.rpc("driver", dst, payload, 128)
+
+
+def test_retried_prepare_acks_instead_of_self_deadlocking():
+    env, fabric, cluster, _ = make_rig()
+    shard = cluster.shards[0]
+    ops = [("put", b"k1", b"v")]
+
+    def flow():
+        ok1 = yield from rpc(fabric, shard.name, ("prepare", "tx1", ops))
+        # The coordinator timed out on the (delivered) ack and re-sends: the
+        # shard must recognise its own staged txid, not block on its locks.
+        ok2 = yield from rpc(fabric, shard.name, ("prepare", "tx1", ops))
+        assert ok1 is True and ok2 is True
+        yield from rpc(fabric, shard.name, ("commit", "tx1"))
+
+    env.run(until=env.process(flow(), name="driver"))
+    assert shard.engine.get(b"k1") == b"v"
+    assert not shard._locks and not shard._staged
+
+
+def test_prepare_crash_restart_then_retried_prepare_succeeds():
+    env, fabric, cluster, _ = make_rig()
+    shard = cluster.shards[0]
+    ops = [("put", b"kx", b"v1"), ("put", b"ky", b"v2")]
+
+    def flow():
+        ok = yield from rpc(fabric, shard.name, ("prepare", "txc", ops))
+        assert ok is True
+        assert shard._locks == {b"kx", b"ky"}
+        # Participant dies before the commit arrives: staged state and locks
+        # are volatile and must evaporate with it.
+        shard.crash()
+        assert not shard._locks and not shard._staged
+        yield from shard.restart()
+        # The coordinator retries the whole round: the fresh prepare must
+        # not collide with ghosts of the pre-crash locks.
+        ok2 = yield from rpc(fabric, shard.name, ("prepare", "txc", ops))
+        assert ok2 is True
+        yield from rpc(fabric, shard.name, ("commit", "txc"))
+
+    env.run(until=env.process(flow(), name="driver"))
+    assert shard.engine.get(b"kx") == b"v1"
+    assert shard.engine.get(b"ky") == b"v2"
+    assert not shard._locks and not shard._staged
+
+
+def test_abort_releases_every_staged_lock():
+    env, fabric, cluster, _ = make_rig()
+    shard = cluster.shards[0]
+    ops = [("put", b"a", b"1"), ("delete", b"b"), ("put", b"c", b"3")]
+
+    def flow():
+        ok = yield from rpc(fabric, shard.name, ("prepare", "txa", ops))
+        assert ok is True
+        assert shard._locks == {b"a", b"b", b"c"}
+        yield from rpc(fabric, shard.name, ("abort", "txa"))
+        assert not shard._locks and not shard._staged
+        # The keys are free again: a competing transaction can take them.
+        ok2 = yield from rpc(fabric, shard.name, ("prepare", "txb", ops))
+        assert ok2 is True
+        yield from rpc(fabric, shard.name, ("abort", "txb"))
+
+    env.run(until=env.process(flow(), name="driver"))
+    assert not shard._locks
+    # Aborted stages never touched the engine.
+    assert shard.engine.get(b"a") is None
+
+
+def test_parked_writer_wakes_on_commit():
+    env, fabric, cluster, _ = make_rig()
+    shard = cluster.shards[0]
+    fabric.attach("writer")
+    client = KvClient(fabric, "writer", cluster.shard_names())
+    key = next(k for k in (b"p%07d" % i for i in range(64)) if client.route(k) == shard.name)
+    commit_at = 400e-6
+
+    def holder():
+        ok = yield from rpc(fabric, shard.name, ("prepare", "txh", [("put", key, b"staged")]))
+        assert ok is True
+        yield env.timeout(commit_at)
+        yield from rpc(fabric, shard.name, ("commit", "txh"))
+
+    def writer():
+        while key not in shard._locks:
+            yield env.timeout(2e-6)
+        # txh holds the lock: the put parks on the per-key event
+        # (no busy-poll) until the commit releases it.
+        yield from client.put(key, b"after")
+        return env.now
+
+    env.process(holder(), name="holder")
+    done_at = env.run(until=env.process(writer(), name="writer"))
+
+    assert done_at > commit_at  # genuinely waited for the lock release
+    assert shard.engine.get(key) == b"after"  # writer applied post-commit
+    assert not shard._locks and not shard._lock_waiters
+
+
+def test_parked_writer_survives_lock_holder_crash():
+    env, fabric, cluster, p = make_rig(rpc_timeout=500e-6)
+    shard = cluster.shards[0]
+    fabric.attach("writer")
+    client = KvClient(
+        fabric, "writer", cluster.shard_names(), retry=retry_policy_from(p)
+    )
+    key = next(k for k in (b"q%07d" % i for i in range(64)) if client.route(k) == shard.name)
+
+    def holder():
+        ok = yield from rpc(fabric, shard.name, ("prepare", "txd", [("put", key, b"staged")]))
+        assert ok is True
+        yield env.timeout(100e-6)
+        # The lock holder's shard dies before commit: parked waiters must be
+        # woken (the locks no longer exist), not stranded forever.
+        shard.crash()
+        yield env.timeout(300e-6)
+        yield from shard.restart()
+
+    def writer():
+        while key not in shard._locks:
+            yield env.timeout(2e-6)
+        yield from client.put(key, b"mine")
+        v = yield from client.get(key)
+        return v
+
+    env.process(holder(), name="holder")
+    value = env.run(until=env.process(writer(), name="writer"))
+
+    assert value == b"mine"
+    assert client.timeouts_exhausted == 0
+    assert not shard._locks and not shard._lock_waiters and not shard._staged
