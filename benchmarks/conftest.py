@@ -20,8 +20,9 @@ import pytest
 #: machine-readable benchmark output lands here (CI uploads BENCH_*.json)
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-#: bump when the BENCH_*.json envelope shape changes
-SCHEMA_VERSION = 1
+#: bump when the BENCH_*.json envelope shape changes (2: adds wall_clock_s
+#: + events_per_sec loop-speed stamps, see repro.experiments.bench)
+SCHEMA_VERSION = 2
 
 
 def _git_sha() -> str:
@@ -47,6 +48,24 @@ def _default_seed() -> int:
         return -1
 
 
+def _loop_wall_s() -> float:
+    try:
+        from repro.sim.core import LOOP_STATS
+
+        return round(LOOP_STATS.wall_s, 4)
+    except Exception:
+        return 0.0
+
+
+def _loop_events_per_sec() -> float:
+    try:
+        from repro.sim.core import LOOP_STATS
+
+        return round(LOOP_STATS.events_per_sec(), 1)
+    except Exception:
+        return 0.0
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
@@ -65,10 +84,11 @@ class BenchRecorder:
     ``results/BENCH_<group>.json`` (merged over existing content, so several
     benchmark files/selections can contribute to one group).
 
-    Files are enveloped as ``{"schema": 1, "seed": ..., "git_sha": ...,
-    "metrics": {...}}`` so a results directory is self-describing about
-    which commit and simulation seed produced it; pre-envelope flat files
-    are migrated on the next merge.
+    Files are enveloped as ``{"schema": 2, "seed": ..., "git_sha": ...,
+    "wall_clock_s": ..., "events_per_sec": ..., "metrics": {...}}`` so a
+    results directory is self-describing about which commit and simulation
+    seed produced it and how fast the simulator ran; pre-envelope flat
+    files are migrated on the next merge.
     """
 
     def __init__(self) -> None:
@@ -101,6 +121,8 @@ class BenchRecorder:
                 "schema": SCHEMA_VERSION,
                 "seed": seed,
                 "git_sha": sha,
+                "wall_clock_s": _loop_wall_s(),
+                "events_per_sec": _loop_events_per_sec(),
                 "metrics": merged,
             }
             path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")

@@ -34,6 +34,7 @@ import struct
 import zlib
 from typing import Callable, Generator, Optional
 
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..sim.core import Environment, Event
@@ -99,6 +100,8 @@ class CacheControlPlane:
 
     #: flight-recorder hook; builders replace this with a live tracer
     tracer = NULL_TRACER
+    #: latency-sketch hub; builders replace this with a live hub
+    sketches = NULL_HUB
 
     def __init__(
         self,
@@ -347,8 +350,11 @@ class CacheControlPlane:
         parallel again — the batch pays round-trip latency O(rounds), not
         O(pages).
         """
+        t0 = self.env.now
         with self.tracer.span("cache.flush", track="cache", parent=None, n=len(idxs)):
-            return (yield from self._flush_entries_impl(idxs))
+            res = yield from self._flush_entries_impl(idxs)
+        self.sketches.observe("cache.flush", self.env.now - t0)
+        return res
 
     def _flush_entries_impl(self, idxs: list[int]) -> Generator[Event, None, int]:
         lay = self.layout
@@ -678,9 +684,11 @@ class CacheControlPlane:
         slot = self._prefetch_slots.request()
         yield slot
         try:
+            t0 = self.env.now
             with self.tracer.span("cache.prefetch", track="cache", parent=None,
                                   lpn=first_lpn, n=npages):
                 yield from self._prefetch_chunk_impl(inode, first_lpn, npages)
+            self.sketches.observe("cache.prefetch", self.env.now - t0)
         finally:
             # Sync-only cleanup (no yields: the simulation may be tearing
             # this process down via GeneratorExit).

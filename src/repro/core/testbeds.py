@@ -39,6 +39,7 @@ from ..kvfs.fs import Kvfs
 from ..localfs.ext4sim import Ext4Fs
 from ..obsv import get_context
 from ..obsv.metrics import Registry
+from ..obsv.quantiles import SketchHub
 from ..obsv.tracer import Tracer
 from ..params import SystemParams, default_params
 from ..proto.nvme.ini import NvmeFsInitiator
@@ -54,6 +55,7 @@ from .topology import (
     ROLE_OPT_CLIENT,
     ROLE_STD_CLIENT,
     Cluster,
+    _attach_sketches,
     _attach_tracer,
     _collect_cpu,
     _collect_dfs,
@@ -108,6 +110,7 @@ class DpcSystem:
     breaker: Optional[CircuitBreaker] = None
     registry: Optional[Registry] = None
     tracer: Optional[Tracer] = None
+    sketches: Optional[SketchHub] = None
     #: DPU-local NVMe data plane (``with_local_nvme``): the device/array,
     #: the ext4-sim over it, and the host adapter mounted at "/local"
     nvme: Optional[object] = None
@@ -180,6 +183,7 @@ def build_dpc_system(
         breaker=node.dpu.breaker,
         registry=node.registry,
         tracer=node.tracer,
+        sketches=node.sketches,
         nvme=node.dpu.nvme,
         local_fs=node.dpu.local_fs,
         local_adapter=node.host.local_adapter,
@@ -304,6 +308,7 @@ class HostDfsTestbed:
     fault_plane: Optional[FaultPlane] = None
     registry: Optional[Registry] = None
     tracer: Optional[Tracer] = None
+    sketches: Optional[SketchHub] = None
 
     def run_until(self, gen):
         return self.env.run(until=self.env.process(gen))
@@ -349,7 +354,19 @@ def build_host_dfs_clients(
     registry.collect(_collect_dfs("dfs.std", std))
     registry.collect(_collect_dfs("dfs.opt", opt))
     tracer = _attach_tracer(
-        env, trace, [plane, std, opt, getattr(opt, "stripeio", None)]
+        env, trace, [plane, std, opt, getattr(opt, "stripeio", None)], params=p
+    )
+    hub = _attach_sketches(
+        env,
+        p,
+        registry,
+        [
+            std,
+            opt,
+            getattr(std, "stripeio", None),
+            getattr(opt, "stripeio", None),
+            fabric,
+        ],
     )
     get_context().register("host-dfs", tracer, registry)
     return HostDfsTestbed(
@@ -365,4 +382,5 @@ def build_host_dfs_clients(
         fault_plane=plane,
         registry=registry,
         tracer=tracer,
+        sketches=hub,
     )

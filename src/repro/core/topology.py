@@ -53,7 +53,8 @@ from ..kvfs.fs import Kvfs
 from ..localfs.ext4sim import Ext4Fs
 from ..obsv import get_context
 from ..obsv.metrics import Registry
-from ..obsv.tracer import Tracer
+from ..obsv.quantiles import SketchHub
+from ..obsv.tracer import TailSampler, Tracer
 from ..params import SystemParams, default_params
 from ..proto.nvme.ini import NvmeFsInitiator
 from ..proto.nvme.sqe import ReqType
@@ -323,21 +324,60 @@ def _collect_fault(plane: FaultPlane):
     return fn
 
 
-def _attach_tracer(env: Environment, trace: Optional[bool], components) -> Optional[Tracer]:
+def _attach_tracer(
+    env: Environment,
+    trace: Optional[bool],
+    components,
+    params: Optional[SystemParams] = None,
+) -> Optional[Tracer]:
     """Give every instrumented component a live tracer when tracing is on.
 
     ``trace=None`` defers to the process-wide context (``REPRO_TRACE=1`` or
     :func:`repro.obsv.enable_tracing`); the default off path leaves the
-    class-level ``NULL_TRACER`` in place everywhere.
+    class-level ``NULL_TRACER`` in place everywhere.  With
+    ``params.obsv_tail_sample`` the tracer gets a :class:`TailSampler`, so
+    only baseline and above-quantile client ops keep their span trees.
     """
     enabled = get_context().enabled if trace is None else trace
     if not enabled:
         return None
-    tracer = Tracer(env)
+    sampler = None
+    if params is not None and params.obsv_tail_sample:
+        sampler = TailSampler(
+            quantile=params.obsv_tail_quantile,
+            baseline=params.obsv_tail_baseline,
+            warmup=params.obsv_tail_warmup,
+            alpha=params.obsv_sketch_alpha,
+        )
+    tracer = Tracer(env, sampler=sampler)
     for c in components:
         if c is not None:
             c.tracer = tracer
     return tracer
+
+
+def _attach_sketches(
+    env: Environment,
+    p: SystemParams,
+    registry: Registry,
+    components,
+) -> Optional[SketchHub]:
+    """Feed per-endpoint quantile sketches when ``params.obsv_sketches``.
+
+    One :class:`SketchHub` per node: every instrumented component's
+    class-level ``sketches = NULL_HUB`` is swapped for the live hub, and
+    the hub's collector joins the node registry so snapshots carry
+    ``lat.<endpoint>.p50/p95/p99/p999``.  Off by default — the extra keys
+    would break the golden snapshot signatures.
+    """
+    if not p.obsv_sketches:
+        return None
+    hub = SketchHub(alpha=p.obsv_sketch_alpha, now_fn=lambda: env.now)
+    registry.collect(hub.collect)
+    for c in components:
+        if c is not None:
+            c.sketches = hub
+    return hub
 
 
 # -- node dataclasses -------------------------------------------------------------
@@ -390,6 +430,7 @@ class ClusterNode:
     dpu: DpuNode
     registry: Optional[Registry] = None
     tracer: Optional[Tracer] = None
+    sketches: Optional[SketchHub] = None
 
     # convenience pass-throughs used by workload drivers
     @property
@@ -666,7 +707,20 @@ def build_cluster(
                 dfs_client,
                 getattr(dfs_client, "stripeio", None),
             ],
+            params=p,
         )
+        sketch_components = [
+            dispatch,
+            cache_ctrl,
+            kv_client,
+            dfs_client,
+            getattr(dfs_client, "stripeio", None),
+        ]
+        if i == 0:
+            # Cluster-shared components report into the node-0 hub.
+            sketch_components.append(fabric)
+            sketch_components.extend(kv_cluster.shards)
+        hub = _attach_sketches(env, p, registry, sketch_components)
         get_context().register(ep, tracer, registry)
         nodes.append(
             ClusterNode(
@@ -700,6 +754,7 @@ def build_cluster(
                 ),
                 registry=registry,
                 tracer=tracer,
+                sketches=hub,
             )
         )
 

@@ -29,6 +29,7 @@ from ..fault.retry import (
     RpcTimeout,
     call_with_timeout,
 )
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..proto.filemsg import Errno, FileAttr
@@ -72,6 +73,8 @@ class _FailureAwareRpc:
 
     #: flight-recorder hook; builders replace this with a live tracer
     tracer = NULL_TRACER
+    #: quantile-sketch hook; builders replace this with a live SketchHub
+    sketches = NULL_HUB
 
     def _init_fault(self, retry: Optional[RetryPolicy], plane) -> None:
         self.retry = retry
@@ -84,8 +87,11 @@ class _FailureAwareRpc:
     def _mds_call(
         self, dst: str, op: tuple, size: int, mutating: bool = False
     ) -> Generator[Event, None, object]:
+        t0 = self.fabric.env.now
         with self.tracer.span("mds.rpc", track="net", dst=dst, op=str(op[0])):
-            return (yield from self._mds_call_impl(dst, op, size, mutating))
+            resp = yield from self._mds_call_impl(dst, op, size, mutating)
+        self.sketches.observe("mds.rpc", self.fabric.env.now - t0)
+        return resp
 
     def _mds_call_impl(
         self, dst: str, op: tuple, size: int, mutating: bool

@@ -18,6 +18,7 @@ from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon, StripeLayout
 from ..fault.retry import RetryPolicy, RpcTimeout, call_with_timeout
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..sim.core import Environment, Event
@@ -39,6 +40,8 @@ class StripeIO:
 
     #: flight-recorder hook; builders replace this with a live tracer
     tracer = NULL_TRACER
+    #: quantile-sketch hook; builders replace this with a live SketchHub
+    sketches = NULL_HUB
 
     def __init__(
         self,
@@ -82,8 +85,11 @@ class StripeIO:
         budget surfaces as an ``("err", "ETIMEDOUT")`` reply so the EC
         degraded-read machinery treats both identically.
         """
+        t0 = self.env.now
         with self.tracer.span("ds.rpc", track="net", dst=ds_name(server), op=str(op[0])):
-            return (yield from self._ds_call_impl(server, op, size))
+            resp = yield from self._ds_call_impl(server, op, size)
+        self.sketches.observe("ds.rpc", self.env.now - t0)
+        return resp
 
     def _ds_call_impl(
         self, server: int, op: tuple, size: int
@@ -178,8 +184,11 @@ class StripeIO:
         """
         if length <= 0:
             return b""
+        t0 = self.env.now
         with self.tracer.span("stripe.read", track="dfs", length=length):
-            return (yield from self._read_striped(file_id, offset, length))
+            data = yield from self._read_striped(file_id, offset, length)
+        self.sketches.observe("stripe.read", self.env.now - t0)
+        return data
 
     def _read_striped(
         self, file_id: int, offset: int, length: int
@@ -337,8 +346,10 @@ class StripeIO:
         """
         if not data:
             return
+        t0 = self.env.now
         with self.tracer.span("stripe.write", track="dfs", length=len(data)):
             yield from self._write_striped(file_id, offset, data)
+        self.sketches.observe("stripe.write", self.env.now - t0)
 
     def _write_striped(
         self, file_id: int, offset: int, data: bytes

@@ -15,6 +15,7 @@ from typing import Generator, Optional
 
 from ..dfs.clients import DfsError, OffloadedDfsClient
 from ..kvfs.fs import Kvfs, KvfsError
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from ..proto.filemsg import (
@@ -45,6 +46,8 @@ class IoDispatch:
 
     #: flight-recorder hook; builders replace this with a live tracer
     tracer = NULL_TRACER
+    #: quantile-sketch hook; builders replace this with a live SketchHub
+    sketches = NULL_HUB
 
     def __init__(
         self,
@@ -77,6 +80,7 @@ class IoDispatch:
     ) -> Generator[Event, None, tuple[FileResponse, bytes]]:
         """The NVME-TGT / DPFS-HAL backend callable."""
         req_type = sqe.req_type if sqe is not None else ReqType.STANDALONE
+        t0 = self.env.now
         if req_type == ReqType.STANDALONE:
             if request.flags & FLAG_LOCAL:
                 self.local_ops += 1
@@ -85,17 +89,23 @@ class IoDispatch:
                 with self.tracer.span(
                     "dispatch.local", track="dpu", op=request.op.name
                 ):
-                    return (yield from self._local_op(request, payload))
+                    res = yield from self._local_op(request, payload)
+                self.sketches.observe("dispatch.local", self.env.now - t0)
+                return res
             self.standalone_ops += 1
             if self.kvfs is None:
                 return FileResponse(status=Errno.EINVAL), b""
             with self.tracer.span("dispatch.kvfs", track="dpu", op=request.op.name):
-                return (yield from self._kvfs_op(request, payload))
+                res = yield from self._kvfs_op(request, payload)
+            self.sketches.observe("dispatch.kvfs", self.env.now - t0)
+            return res
         self.distributed_ops += 1
         if self.dfs_client is None:
             return FileResponse(status=Errno.EINVAL), b""
         with self.tracer.span("dispatch.dfs", track="dpu", op=request.op.name):
-            return (yield from self._dfs_op(request, payload))
+            res = yield from self._dfs_op(request, payload)
+        self.sketches.observe("dispatch.dfs", self.env.now - t0)
+        return res
 
     # ------------------------------------------------------------------ KVFS stack
     def _kvfs_op(

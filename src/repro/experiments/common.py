@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment
 from ..sim.cpu import CpuPool
@@ -36,6 +37,7 @@ def measure_threads(
     host_cpu: Optional[CpuPool] = None,
     dpu_cpu: Optional[CpuPool] = None,
     tracer=NULL_TRACER,
+    sketches=NULL_HUB,
 ) -> ThreadsResult:
     """Run ``op_factory(tid, op_index)`` in a closed loop on N threads.
 
@@ -51,6 +53,7 @@ def measure_threads(
             with tracer.span("op", track="client", parent=None, tid=tid, j=j):
                 yield from op_factory(tid, j)
             latencies.append(env.now - t0)
+            sketches.observe("client.op", env.now - t0)
 
     if host_cpu is not None:
         host_cpu.begin_window()

@@ -29,10 +29,11 @@ from ..core.testbeds import build_host_dfs_clients
 from ..dfs.mds import DFS_ROOT_INO
 from ..fault import ChannelFaults
 from ..metrics.stats import LatencyRecorder, ResultTable
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams, default_params
 
-__all__ = ["run", "VARIANTS"]
+__all__ = ["run", "VARIANTS", "_run_variant"]
 
 VARIANTS = ("healthy", "no-recovery", "degraded", "full")
 
@@ -46,6 +47,7 @@ def _run_variant(
     params: Optional[SystemParams],
     nthreads: int,
     ops_per_thread: int,
+    on_testbed=None,
 ) -> tuple:
     p = params or default_params()
     if variant == "full":
@@ -53,6 +55,10 @@ def _run_variant(
         # the others measure what happens *without* client-side recovery.
         p = p.with_overrides(rpc_timeout=400e-6)
     tb = build_host_dfs_clients(p, degraded_reads=variant != "no-recovery")
+    if on_testbed is not None:
+        # SLO-engine hook: lets callers attach burn-rate evaluators to the
+        # testbed's sketch hub before the workload starts.
+        on_testbed(variant, tb)
     env, client, plane = tb.env, tb.opt_client, tb.fault_plane
     stripe = tb.layout.stripe_size
 
@@ -98,6 +104,7 @@ def _run_variant(
     span = NSTRIPES * stripe
 
     tracer = tb.tracer or NULL_TRACER
+    sketches = tb.sketches or NULL_HUB
 
     def reader(tid: int):
         rng = env.substream(f"fault-ablation:t{tid}")
@@ -113,6 +120,7 @@ def _run_variant(
                 except Exception:
                     errors[0] += 1
             lat.add(env.now - t0)
+            sketches.observe("client.read", env.now - t0)
             done[0] += 1
 
     started = env.now

@@ -27,6 +27,7 @@ from ..dfs.mds import DFS_ROOT_INO
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
 from .common import measure_threads
@@ -59,6 +60,7 @@ class _HostClientDriver:
         self.host_cpu = self.tb.host_cpu
         self.registry = self.tb.registry
         self.tracer = self.tb.tracer
+        self.sketches = self.tb.sketches
 
     def prep_bigfile(self):
         def prep():
@@ -142,6 +144,7 @@ class _DpcDriver:
         self.host_cpu = self.sys.host_cpu
         self.registry = self.sys.registry
         self.tracer = self.sys.tracer
+        self.sketches = self.sys.sketches
 
     def prep_bigfile(self):
         def prep():
@@ -242,13 +245,17 @@ def run_case(
         op,
         host_cpu=driver.host_cpu,
         tracer=driver.tracer or NULL_TRACER,
+        sketches=driver.sketches or NULL_HUB,
     )
     unit = SEQ_CHUNK if case.startswith("seq") else BLOCK
+    lats = sorted(res.latencies)
+    p99 = lats[min(len(lats) - 1, int(0.99 * (len(lats) - 1)))] if lats else 0.0
     return {
         "iops": res.iops,
         "bandwidth": res.iops * unit,
         "host_cores": driver.registry.get("cpu.host.window_cores"),
         "lat_us": res.mean_lat * 1e6,
+        "lat_p99_us": p99 * 1e6,
     }
 
 

@@ -27,7 +27,6 @@ CLI::
 from __future__ import annotations
 
 import argparse
-import json
 from pathlib import Path
 from typing import Optional
 
@@ -39,7 +38,7 @@ from ..params import SystemParams, default_params
 from ..sim.core import Environment
 from ..sim.network import Fabric
 from ..workload.runner import ClusterJobSpec, run_cluster_job
-from .scaleout import RESULTS_DIR, SCHEMA_VERSION, _git_sha
+from .bench import write_envelope
 
 __all__ = [
     "run_inline_point",
@@ -233,9 +232,6 @@ def elastic_table(points: list[dict]) -> ResultTable:
 
 
 def write_bench(results: dict, path: Optional[Path] = None) -> Path:
-    if path is None:
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        path = RESULTS_DIR / "BENCH_kvflash.json"
     metrics: dict = {}
     for p in results["inline"]:
         tag = "inline/on" if p["inline"] else "inline/off"
@@ -261,14 +257,7 @@ def write_bench(results: dict, path: Optional[Path] = None) -> Path:
         metrics[f"{tag}/splits"] = p["splits"]
         metrics[f"{tag}/stale_bounces"] = p["stale_bounces"]
         metrics[f"{tag}/errors"] = p["errors"]
-    envelope = {
-        "schema": SCHEMA_VERSION,
-        "seed": default_params().seed,
-        "git_sha": _git_sha(),
-        "metrics": metrics,
-    }
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_envelope("kvflash", metrics, path=path)
 
 
 def main(argv=None) -> int:

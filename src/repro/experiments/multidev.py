@@ -27,8 +27,6 @@ CLI::
 from __future__ import annotations
 
 import argparse
-import json
-import subprocess
 from pathlib import Path
 from typing import Optional
 
@@ -36,7 +34,10 @@ from ..core.testbeds import build_dpc_system
 from ..host.adapters import O_DIRECT
 from ..host.vfs import O_CREAT
 from ..metrics.stats import ResultTable
+from ..obsv.quantiles import NULL_HUB
+from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams, default_params
+from .bench import write_envelope
 from .common import measure_threads
 
 __all__ = [
@@ -52,29 +53,10 @@ __all__ = [
 DEFAULT_DEVICES = (1, 2, 4, 8)
 WORKLOADS = ("4k_randread", "128k_seqwrite")
 
-#: envelope schema shared with benchmarks/conftest.py
-SCHEMA_VERSION = 1
-
-RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
-
 RAND_BLOCK = 4096
 RAND_FILE = 32 << 20  # shared random-read file
 SEQ_CHUNK = 128 * 1024
 SEQ_REGION = 4 << 20  # per-thread streaming region
-
-
-def _git_sha() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            cwd=Path(__file__).resolve().parent,
-            timeout=10,
-        )
-        return out.stdout.strip() or "unknown"
-    except Exception:
-        return "unknown"
 
 
 def _rand_off(tid: int, j: int) -> int:
@@ -138,6 +120,8 @@ def run_point(
         op,
         host_cpu=sys_.host_cpu,
         dpu_cpu=sys_.dpu_cpu,
+        tracer=sys_.tracer or NULL_TRACER,
+        sketches=sys_.sketches or NULL_HUB,
     )
     elapsed = res.elapsed if res.elapsed > 0 else 1e-12
     op_bytes = RAND_BLOCK if randread else SEQ_CHUNK
@@ -235,9 +219,6 @@ def table(points: list[dict]) -> ResultTable:
 
 def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
     """Write ``BENCH_multidev.json`` (same envelope as benchmarks/conftest)."""
-    if path is None:
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        path = RESULTS_DIR / "BENCH_multidev.json"
     metrics: dict = {}
     base: dict[str, float] = {}
     for pt in points:
@@ -261,14 +242,7 @@ def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
             metrics[f"{key}/speedup_vs_1dev"] = round(
                 pt["iops"] / base[pt["workload"]], 3
             )
-    envelope = {
-        "schema": SCHEMA_VERSION,
-        "seed": default_params().seed,
-        "git_sha": _git_sha(),
-        "metrics": metrics,
-    }
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_envelope("multidev", metrics, path=path)
 
 
 def main(argv=None) -> int:

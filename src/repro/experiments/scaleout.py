@@ -9,7 +9,8 @@ up as rising per-op latency and shard queue wait.
 Per sweep point the run records aggregate and per-node IOPS, p50/p99
 latency, total KV shard queue wait, and host/DPU busy cores, and writes
 ``results/BENCH_scaleout.json`` with the same envelope the benchmark
-suite uses (``{"schema": 1, "seed": ..., "git_sha": ..., "metrics": ...}``).
+suite uses (``{"schema": 2, "seed": ..., "git_sha": ..., "wall_clock_s": ...,
+"events_per_sec": ..., "metrics": ...}``).
 
 CLI::
 
@@ -19,8 +20,6 @@ CLI::
 from __future__ import annotations
 
 import argparse
-import json
-import subprocess
 from pathlib import Path
 from typing import Optional
 
@@ -28,29 +27,12 @@ from ..core.topology import build_cluster
 from ..metrics.stats import ResultTable
 from ..params import SystemParams
 from ..workload.runner import ClusterJobSpec, run_cluster_job
+from .bench import RESULTS_DIR, SCHEMA_VERSION, write_envelope  # noqa: F401  (re-exports)
+from .bench import git_sha as _git_sha  # noqa: F401  (re-export)
 
 __all__ = ["run", "run_point", "write_bench", "main", "DEFAULT_HOSTS"]
 
 DEFAULT_HOSTS = (1, 2, 4, 8)
-
-#: envelope schema shared with benchmarks/conftest.py
-SCHEMA_VERSION = 1
-
-RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
-
-
-def _git_sha() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            cwd=Path(__file__).resolve().parent,
-            timeout=10,
-        )
-        return out.stdout.strip() or "unknown"
-    except Exception:
-        return "unknown"
 
 
 def run_point(
@@ -134,11 +116,6 @@ def saturation_point(points: list[dict]) -> int:
 
 def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
     """Write ``BENCH_scaleout.json`` (same envelope as benchmarks/conftest)."""
-    from ..params import default_params
-
-    if path is None:
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        path = RESULTS_DIR / "BENCH_scaleout.json"
     metrics: dict = {"saturation_n_hosts": saturation_point(points)}
     for p in points:
         n = p["n_hosts"]
@@ -149,14 +126,7 @@ def write_bench(points: list[dict], path: Optional[Path] = None) -> Path:
         metrics[f"n{n}/host_cores_total"] = round(sum(p["host_cores"]), 3)
         metrics[f"n{n}/dpu_cores_total"] = round(sum(p["dpu_cores"]), 3)
         metrics[f"n{n}/errors"] = p["errors"]
-    envelope = {
-        "schema": SCHEMA_VERSION,
-        "seed": default_params().seed,
-        "git_sha": _git_sha(),
-        "metrics": metrics,
-    }
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_envelope("scaleout", metrics, path=path)
 
 
 def main(argv=None) -> int:

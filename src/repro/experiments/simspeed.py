@@ -1,0 +1,213 @@
+"""Simulator self-benchmark: wall-clock events/sec of the DES core loop.
+
+All other experiments report *simulated* time; this one measures the
+simulator itself.  It drives the full DPC system (fig9's random-write
+workload) four ways:
+
+* ``baseline`` — defaults off, the plain :meth:`Environment.run` loop;
+  events/sec comes from :data:`repro.sim.core.LOOP_STATS`.
+* ``profiled`` — same run with the :class:`~repro.obsv.profiler.SimProfiler`
+  installed: per-callback-site wall-clock attribution (which component's
+  callbacks the loop actually spends its time in) plus the loop-kernel
+  share, with coverage = (callbacks + kernel) / wall.
+* ``traced`` — flight-recorder tracing on: the span-tree overhead.
+* ``traced+tail`` — tracing plus sketches and tail-based sampling: what
+  the always-on observability pipeline costs.
+
+Each configuration runs ``--repeats`` times and keeps the fastest run
+(minimum wall clock), the standard way to de-noise a throughput
+micro-benchmark.  Writes ``results/BENCH_simspeed.json``.
+
+CLI::
+
+    python -m repro.experiments.simspeed [--threads 16] [--ops 30] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from ..obsv import disable_tracing, enable_tracing
+from ..obsv.profiler import SimProfiler
+from ..obsv.quantiles import NULL_HUB
+from ..obsv.tracer import NULL_TRACER
+from ..params import SystemParams, default_params
+from ..sim.core import LOOP_STATS
+from .bench import write_envelope
+from .common import measure_threads
+from .fig9_dfs import _DpcDriver
+
+__all__ = ["run", "measure", "write_bench", "main"]
+
+TOP_SITES = 10
+
+
+def measure(
+    params: Optional[SystemParams] = None,
+    nthreads: int = 16,
+    ops_per_thread: int = 30,
+    profiler: Optional[SimProfiler] = None,
+) -> dict:
+    """One run of the fig9 random-write workload on the full DPC system;
+    returns the loop-speed record (wall seconds, events, events/sec)."""
+    p = params or default_params()
+    wall0, events0 = LOOP_STATS.wall_s, LOOP_STATS.events
+    driver = _DpcDriver(p)
+    handle = driver.prep_bigfile()
+    op = driver.ops("rnd-wr", handle, None, None)
+    if profiler is not None:
+        profiler.install(driver.env)
+        profiler.start()
+    res = measure_threads(
+        driver.env,
+        nthreads,
+        ops_per_thread,
+        op,
+        host_cpu=driver.host_cpu,
+        tracer=driver.tracer or NULL_TRACER,
+        sketches=driver.sketches or NULL_HUB,
+    )
+    if profiler is not None:
+        profiler.stop()
+        profiler.uninstall()
+    wall = LOOP_STATS.wall_s - wall0
+    events = LOOP_STATS.events - events0
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "ops": res.total_ops,
+        "sim_elapsed_s": res.elapsed,
+    }
+
+
+def _best(records: list[dict]) -> dict:
+    return min(records, key=lambda r: r["wall_s"])
+
+
+def run(
+    params: Optional[SystemParams] = None,
+    nthreads: int = 16,
+    ops_per_thread: int = 30,
+    repeats: int = 3,
+) -> dict:
+    """The four-configuration comparison; returns the full report dict."""
+    p = params or default_params()
+    p_tail = p.with_overrides(obsv_sketches=True, obsv_tail_sample=True)
+
+    # Interleave the configurations round-robin so slow phases of the host
+    # machine penalise every configuration equally, then keep the fastest
+    # run per configuration.
+    baselines, profileds, traceds, tails = [], [], [], []
+    prof_best, prof_report = None, None
+    for _ in range(repeats):
+        disable_tracing()
+        baselines.append(measure(p, nthreads, ops_per_thread))
+        prof = SimProfiler()
+        rec = measure(p, nthreads, ops_per_thread, profiler=prof)
+        profileds.append(rec)
+        if prof_best is None or rec["wall_s"] < prof_best["wall_s"]:
+            prof_best, prof_report = rec, prof.report(top=TOP_SITES)
+        enable_tracing()
+        try:
+            traceds.append(measure(p, nthreads, ops_per_thread))
+            tails.append(measure(p_tail, nthreads, ops_per_thread))
+        finally:
+            disable_tracing()
+    baseline = _best(baselines)
+    traced = _best(traceds)
+    tail = _best(tails)
+
+    def overhead_pct(recs: list[dict]) -> float:
+        # Matched-pair ratios against the *same round's* baseline, then the
+        # median: robust to the host machine drifting between rounds.
+        ratios = sorted(
+            r["wall_s"] / b["wall_s"]
+            for r, b in zip(recs, baselines)
+            if b["wall_s"] > 0
+        )
+        if not ratios:
+            return 0.0
+        mid = len(ratios) // 2
+        med = ratios[mid] if len(ratios) % 2 else (ratios[mid - 1] + ratios[mid]) / 2
+        return (med - 1.0) * 100
+
+    return {
+        "nthreads": nthreads,
+        "ops_per_thread": ops_per_thread,
+        "repeats": repeats,
+        "baseline": baseline,
+        "profiled": prof_best,
+        "profile": prof_report,
+        "traced": traced,
+        "traced_overhead_pct": overhead_pct(traceds),
+        "tail": tail,
+        "tail_overhead_pct": overhead_pct(tails),
+    }
+
+
+def render(report: dict) -> str:
+    b, pr = report["baseline"], report["profile"]
+    lines = [
+        "=== simulator self-benchmark (fig9 rnd-wr on the full DPC system) ===",
+        f"workload: {report['nthreads']} threads x {report['ops_per_thread']} ops, "
+        f"best of {report['repeats']}",
+        f"baseline:    {b['events_per_sec']:>12,.0f} events/s "
+        f"({b['events']} events in {b['wall_s'] * 1e3:.1f} ms)",
+        f"traced:      {report['traced']['events_per_sec']:>12,.0f} events/s "
+        f"({report['traced_overhead_pct']:+.1f}% wall vs baseline)",
+        f"traced+tail: {report['tail']['events_per_sec']:>12,.0f} events/s "
+        f"({report['tail_overhead_pct']:+.1f}% wall vs baseline)",
+        "",
+        f"profiled run: coverage {pr['coverage'] * 100:.1f}% of wall attributed "
+        f"({pr['callbacks']} callbacks, kernel {pr['kernel_s'] * 1e3:.1f} ms)",
+        "top callback sites by wall clock:",
+    ]
+    wall = pr["wall_clock_s"] or 1.0
+    for site in pr["sites"][:TOP_SITES]:
+        lines.append(
+            f"  {site['site']:<40} {site['seconds'] * 1e3:8.2f} ms  "
+            f"x{site['calls']}  ({site['seconds'] / wall * 100:5.1f}%)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_bench(report: dict, path=None):
+    b, pr = report["baseline"], report["profile"]
+    metrics: dict = {
+        "baseline/events_per_sec": round(b["events_per_sec"], 1),
+        "baseline/wall_s": round(b["wall_s"], 4),
+        "baseline/events": b["events"],
+        "profiled/coverage": round(pr["coverage"], 4),
+        "profiled/events_per_sec": round(report["profiled"]["events_per_sec"], 1),
+        "traced/overhead_pct": round(report["traced_overhead_pct"], 2),
+        "traced_tail/overhead_pct": round(report["tail_overhead_pct"], 2),
+    }
+    wall = pr["wall_clock_s"] or 1.0
+    for site in pr["sites"][:TOP_SITES]:
+        metrics[f"site/{site['site']}"] = round(site["seconds"] / wall, 4)
+    return write_envelope("simspeed", metrics, path=path)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments.simspeed",
+        description="Wall-clock self-benchmark of the DES core loop.",
+    )
+    ap.add_argument("--threads", type=int, default=16)
+    ap.add_argument("--ops", type=int, default=30)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--no-json", action="store_true",
+                    help="skip writing results/BENCH_simspeed.json")
+    args = ap.parse_args(argv)
+    report = run(nthreads=args.threads, ops_per_thread=args.ops, repeats=args.repeats)
+    print(render(report))
+    if not args.no_json:
+        out = write_bench(report)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ import hashlib
 from typing import Any, Generator, Optional, Sequence
 
 from ..fault.retry import RetryBudgetExceeded, RetryPolicy, RpcTimeout, call_with_timeout
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
@@ -42,6 +43,10 @@ from .ring import HashRing
 from .server import MSG_OVERHEAD, STALE_RING
 
 __all__ = ["KvClient", "KvTransactionError"]
+
+#: memoised per-op-code (str(op), "kv.rpc.<op>") pairs so the hot RPC path
+#: never rebuilds the same strings
+_RPC_NAMES: dict = {}
 
 #: bound on consecutive stale-ring re-routes of one logical op; the ring
 #: version is monotonic, so each bounce makes progress — this only trips if
@@ -69,6 +74,8 @@ class KvClient:
 
     #: flight-recorder hook; builders replace this with a live tracer
     tracer = NULL_TRACER
+    #: quantile-sketch hook; builders replace this with a live SketchHub
+    sketches = NULL_HUB
 
     def __init__(
         self,
@@ -114,8 +121,15 @@ class KvClient:
         self, dst: str, payload: tuple, size: int
     ) -> Generator[Event, None, Any]:
         """One logical RPC: deadline + backoff + retry budget."""
-        with self.tracer.span("kv.rpc", track="net", dst=dst, op=str(payload[0])):
-            return (yield from self._call_impl(dst, payload, size))
+        t0 = self.fabric.env.now
+        op = payload[0]
+        names = _RPC_NAMES.get(op)
+        if names is None:
+            names = _RPC_NAMES[op] = (str(op), f"kv.rpc.{op}")
+        with self.tracer.span("kv.rpc", track="net", dst=dst, op=names[0]):
+            resp = yield from self._call_impl(dst, payload, size)
+        self.sketches.observe(names[1], self.fabric.env.now - t0)
+        return resp
 
     def _call_impl(
         self, dst: str, payload: tuple, size: int

@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..fault.idempotency import PENDING, IdempotencyFilter
+from ..obsv.quantiles import NULL_HUB
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric, Message, RpcEndpoint
@@ -72,6 +73,9 @@ def _split_token(op: tuple) -> tuple[tuple, Optional[str]]:
 
 class KvShardServer:
     """One shard: an LSM engine served by a small thread pool."""
+
+    #: quantile-sketch hook; builders replace this with a live SketchHub
+    sketches = NULL_HUB
 
     def __init__(
         self,
@@ -216,6 +220,7 @@ class KvShardServer:
         req = self.threads.request()
         yield req
         self.queue_wait_total += self.env.now - enq
+        self.sketches.observe("kv.shard.wait", self.env.now - enq)
         try:
             payload = msg.payload
             stale = False

@@ -94,6 +94,33 @@ class Log2Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in scaled units.
+
+        Finds the bucket holding rank ``q*(count-1)`` and interpolates
+        linearly within its bounds — linear inside a log2 bucket, i.e.
+        log-linear overall.  The open-topped last bucket is treated as one
+        more octave wide.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cum + n > rank:
+                lo, hi = self.bucket_bounds(i)
+                if hi == float("inf"):
+                    hi = 2.0 * lo
+                frac = (rank - cum + 0.5) / n
+                return lo + (hi - lo) * min(frac, 1.0)
+            cum += n
+        lo, hi = self.bucket_bounds(self.NBUCKETS - 1)  # pragma: no cover
+        return lo  # pragma: no cover - defensive
+
     def nonzero(self) -> list[tuple[int, int]]:
         return [(i, n) for i, n in enumerate(self.buckets) if n]
 
@@ -143,6 +170,8 @@ class Registry:
             if isinstance(inst, Log2Histogram):
                 out[f"{name}.count"] = inst.count
                 out[f"{name}.mean"] = inst.mean()
+                out[f"{name}.p50"] = inst.quantile(0.50)
+                out[f"{name}.p99"] = inst.quantile(0.99)
                 for i, n in inst.nonzero():
                     out[f"{name}.bucket.{i:02d}"] = n
             else:

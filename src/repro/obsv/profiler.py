@@ -1,0 +1,168 @@
+"""DES self-profiler: wall-clock accounting of the simulator's own loop.
+
+Everything else in ``repro.obsv`` measures *simulated* time; this module
+measures the one thing the simulation cannot see — how many real seconds
+the ``sim/core.py`` event loop burns per simulated event, and where.  The
+ROADMAP's trace-driven-workload item multiplies event counts by orders of
+magnitude, so simulator raw speed (events/sec) has to enter the perf
+trajectory before those sweeps are CI-affordable.
+
+:class:`SimProfiler` installs into an :class:`~repro.sim.core.Environment`
+via a single ``env._profiler`` hook.  While installed, ``Environment.step``
+delegates callback execution to :meth:`run_event`, which times each
+callback with ``time.perf_counter`` and attributes it to a *site*:
+
+* bound methods of a :class:`Process` (the overwhelmingly common case —
+  ``Process._resume`` driving a component generator) are attributed to
+  ``Process:<name>`` with digit runs collapsed (``bench-t3`` →
+  ``bench-tN``), so per-thread clones aggregate;
+* other bound methods go to ``<Owner>.<method>`` (``AllOf._check`` …);
+* bare callables fall back to their qualname.
+
+Heap pop, clock bookkeeping and profiler overhead itself are charged to a
+synthetic ``kernel`` site, so the per-site table sums to the full stepped
+wall clock.  The profiler perturbs nothing simulated — it adds wall-clock
+reads around callbacks but never touches the event queue or RNG.
+"""
+
+from __future__ import annotations
+
+import re
+from time import perf_counter
+from typing import Optional
+
+__all__ = ["SimProfiler"]
+
+_DIGITS = re.compile(r"\d+")
+
+
+def _site_of(cb) -> str:
+    owner = getattr(cb, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", "")
+        if name:
+            return f"{type(owner).__name__}:{_DIGITS.sub('N', name)}"
+        return f"{type(owner).__name__}.{cb.__name__}"
+    return getattr(cb, "__qualname__", repr(cb))
+
+
+class SimProfiler:
+    """Per-callback-site wall-clock attribution for the DES hot loop."""
+
+    def __init__(self):
+        self.sites: dict[str, list] = {}  # site -> [seconds, calls]
+        self.events = 0
+        self.callbacks = 0
+        self.kernel_s = 0.0
+        self._env = None
+        self._t_start: Optional[float] = None
+        self._wall_s = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+    def install(self, env) -> "SimProfiler":
+        if env._profiler is not None:
+            raise RuntimeError("environment already has a profiler installed")
+        env._profiler = self
+        self._env = env
+        return self
+
+    def uninstall(self) -> None:
+        if self._env is not None:
+            self._env._profiler = None
+            self._env = None
+
+    def start(self) -> None:
+        self._t_start = perf_counter()
+
+    def stop(self) -> None:
+        if self._t_start is not None:
+            self._wall_s += perf_counter() - self._t_start
+            self._t_start = None
+
+    def __enter__(self) -> "SimProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        self.uninstall()
+        return False
+
+    # -- hot path (called from Environment.step) ------------------------------
+    def run_event(self, event, t_pop: float) -> None:
+        """Replicates ``Event._run_callbacks`` with per-callback timing."""
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        self.events += 1
+        t_prev = perf_counter()
+        self.kernel_s += t_prev - t_pop
+        if callbacks:
+            sites = self.sites
+            for cb in callbacks:
+                cb(event)
+                t_now = perf_counter()
+                site = _site_of(cb)
+                cell = sites.get(site)
+                if cell is None:
+                    cell = sites[site] = [0.0, 0]
+                cell[0] += t_now - t_prev
+                cell[1] += 1
+                self.callbacks += 1
+                t_prev = t_now
+        self.kernel_s += perf_counter() - t_prev
+
+    # -- reads ---------------------------------------------------------------
+    @property
+    def wall_s(self) -> float:
+        w = self._wall_s
+        if self._t_start is not None:
+            w += perf_counter() - self._t_start
+        return w
+
+    def report(self, top: int = 0) -> dict:
+        """Attribution table: per-site seconds/calls plus coverage.
+
+        ``coverage`` is (attributed callback time + kernel time) / total
+        wall between start() and stop(); the gap is run-loop code outside
+        ``step`` (heap peek, stop-condition checks).
+        """
+        rows = sorted(
+            ((site, s, n) for site, (s, n) in self.sites.items()),
+            key=lambda r: (-r[1], r[0]),
+        )
+        if top:
+            rows = rows[:top]
+        attributed = sum(s for s, _ in self.sites.values())
+        wall = self.wall_s
+        return {
+            "wall_clock_s": wall,
+            "events": self.events,
+            "callbacks": self.callbacks,
+            "events_per_sec": self.events / wall if wall > 0 else 0.0,
+            "callback_s": attributed,
+            "kernel_s": self.kernel_s,
+            "coverage": (attributed + self.kernel_s) / wall if wall > 0 else 0.0,
+            "sites": [
+                {"site": site, "seconds": s, "calls": n} for site, s, n in rows
+            ],
+        }
+
+    def render(self, top: int = 12) -> str:
+        rep = self.report()
+        lines = [
+            f"wall {rep['wall_clock_s'] * 1e3:.1f} ms · {rep['events']} events · "
+            f"{rep['events_per_sec'] / 1e3:.1f}k events/s · "
+            f"coverage {rep['coverage'] * 100:.1f}%",
+            f"{'site':<44} {'ms':>9} {'calls':>9} {'%wall':>7}",
+        ]
+        wall = rep["wall_clock_s"] or 1.0
+        for row in rep["sites"][:top]:
+            lines.append(
+                f"{row['site']:<44} {row['seconds'] * 1e3:>9.2f} "
+                f"{row['calls']:>9} {row['seconds'] / wall * 100:>6.1f}%"
+            )
+        lines.append(
+            f"{'kernel (heap/clock/profiler)':<44} {rep['kernel_s'] * 1e3:>9.2f} "
+            f"{rep['events']:>9} {rep['kernel_s'] / wall * 100:>6.1f}%"
+        )
+        return "\n".join(lines)

@@ -210,6 +210,18 @@ def run_experiment(experiment: str, case: Optional[str], threads: int, ops: int)
         from ..experiments.fault_ablation import run as run_fault
 
         run_fault(nthreads=threads, ops_per_thread=ops, variants=("degraded",))
+    elif experiment == "scaleout":
+        from ..experiments.scaleout import run_point
+
+        run_point(2, nthreads=threads, ops_per_thread=ops)
+    elif experiment == "kvflash":
+        from ..experiments.kvflash import run_elastic_point
+
+        run_elastic_point(2, elastic=True, nthreads=threads, ops_per_thread=ops)
+    elif experiment == "multidev":
+        from ..experiments.multidev import run_point as run_multidev
+
+        run_multidev("4k_randread", 2, nthreads=threads, ops_per_thread=ops)
     else:
         raise SystemExit(f"unknown experiment {experiment!r}")
     return ctx
@@ -221,7 +233,8 @@ def main(argv=None) -> int:
         description="Run a small traced experiment and render the flight-recorder report.",
     )
     ap.add_argument("--experiment", default="fig9",
-                    choices=["fig2", "fig8", "fig9", "fault_ablation"])
+                    choices=["fig2", "fig8", "fig9", "fault_ablation",
+                             "scaleout", "kvflash", "multidev"])
     ap.add_argument("--case", default=None, help="fig9 workload case (e.g. rnd-wr)")
     ap.add_argument("--threads", type=int, default=2)
     ap.add_argument("--ops", type=int, default=4)

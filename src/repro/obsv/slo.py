@@ -1,0 +1,238 @@
+"""SLO objectives: multi-window burn rates over simulated time (DESIGN.md §15).
+
+An :class:`SloSpec` declares an objective over one sketch endpoint: "at
+least ``target_quantile`` of ``endpoint`` observations complete under
+``threshold_us``".  The error *budget* is the allowed bad fraction
+``1 - target_quantile``; the *burn rate* over a window is the observed bad
+fraction divided by that budget (1.0 = exactly on budget, 10 = burning the
+budget ten times too fast).
+
+The :class:`SloEngine` taps a :class:`~repro.obsv.quantiles.SketchHub`
+subscription, classifies each observation good/bad against the threshold,
+and evaluates every spec's windows at fixed simulated-time intervals —
+piggybacked on the observation stream, so it creates **no events** and
+cannot perturb the simulation.  When every window of a spec burns above
+``breach_burn`` at an evaluation instant, a breach entry is logged naming
+the *attributed bottleneck*: the layer whose cumulative sketch time grew
+the most since the previous evaluation (the online analogue of the flight
+recorder's exclusive-time breakdown).
+
+Gauges surface through :meth:`collect` as ``slo.<name>.burn_rate`` (worst
+window at the last evaluation), ``slo.<name>.budget_remaining`` and
+``slo.<name>.breaches``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["SloSpec", "SloEngine", "sketch_layer_sources"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One latency objective over a sketch endpoint."""
+
+    name: str                      #: short label ("read")
+    endpoint: str                  #: hub sketch name this spec watches
+    threshold_us: float            #: good/bad latency threshold
+    target_quantile: float = 0.99  #: required good fraction
+    #: simulated-time windows (seconds), shortest first; a breach requires
+    #: *every* window to burn hot, so blips shorter than the long window
+    #: don't page.
+    windows: tuple = (500e-6, 2e-3)
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target_quantile
+
+
+@dataclass
+class _SpecState:
+    times: list = field(default_factory=list)   #: observation timestamps
+    bads: list = field(default_factory=list)    #: running bad-count prefix sum
+    bad_total: int = 0
+    burn_rates: tuple = ()
+    burn_rate: float = 0.0
+    budget_remaining: float = 1.0
+    breaches: list = field(default_factory=list)
+
+    def window_counts(self, t0: float, t1: float) -> tuple[int, int]:
+        """(total, bad) observations with timestamp in ``(t0, t1]``."""
+        lo = bisect_right(self.times, t0)
+        hi = bisect_right(self.times, t1)
+        bad = self.bads[hi - 1] - (self.bads[lo - 1] if lo else 0) if hi else 0
+        return hi - lo, bad
+
+
+class SloEngine:
+    """Burn-rate evaluation fed by a SketchHub observation stream."""
+
+    def __init__(
+        self,
+        specs: list[SloSpec],
+        now_fn: Callable[[], float],
+        eval_interval: float = 100e-6,
+        breach_burn: float = 2.0,
+        min_events: int = 5,
+        sources: Optional[dict[str, Callable[[], float]]] = None,
+    ):
+        self.specs = list(specs)
+        self.now_fn = now_fn
+        self.eval_interval = eval_interval
+        self.breach_burn = breach_burn
+        self.min_events = min_events
+        #: bottleneck-attribution sources: layer -> cumulative-seconds callable
+        self.sources = dict(sources or {})
+        self._state = {s.name: _SpecState() for s in self.specs}
+        self._by_endpoint: dict[str, list[SloSpec]] = {}
+        for s in self.specs:
+            self._by_endpoint.setdefault(s.endpoint, []).append(s)
+        self._last_source_totals = {k: fn() for k, fn in self.sources.items()}
+        self._next_eval: Optional[float] = None
+        self.evals = 0
+
+    # -- feed ----------------------------------------------------------------
+    def connect(self, hub) -> None:
+        hub.subscribe(self.record)
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        specs = self._by_endpoint.get(endpoint)
+        t = self.now_fn()
+        if self._next_eval is None:
+            self._next_eval = t + self.eval_interval
+        # Evaluate any elapsed instants *before* folding in this sample, so
+        # an evaluation at T only sees observations with timestamp <= T.
+        while t > self._next_eval:
+            self._evaluate(self._next_eval)
+            self._next_eval += self.eval_interval
+        if not specs:
+            return
+        for spec in specs:
+            st = self._state[spec.name]
+            bad = seconds * 1e6 > spec.threshold_us
+            st.times.append(t)
+            st.bad_total += bad
+            st.bads.append((st.bads[-1] if st.bads else 0) + bad)
+
+    def finish(self, t: Optional[float] = None) -> None:
+        """Run evaluations up to ``t`` (default: now) at end of run."""
+        if t is None:
+            t = self.now_fn()
+        if self._next_eval is None:
+            self._next_eval = t
+        while self._next_eval <= t:
+            self._evaluate(self._next_eval)
+            self._next_eval += self.eval_interval
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(self, t: float) -> None:
+        self.evals += 1
+        deltas = self._source_deltas()
+        for spec in self.specs:
+            st = self._state[spec.name]
+            rates = []
+            for w in spec.windows:
+                total, bad = st.window_counts(t - w, t)
+                rates.append((bad / total) / spec.budget if total else 0.0)
+            st.burn_rates = tuple(rates)
+            st.burn_rate = max(rates) if rates else 0.0
+            total_all = len(st.times)
+            allowed = spec.budget * total_all
+            st.budget_remaining = (
+                1.0 - st.bad_total / allowed if allowed > 0 else 1.0
+            )
+            short_total, _ = st.window_counts(t - spec.windows[0], t)
+            if (
+                rates
+                and short_total >= self.min_events
+                and all(r > self.breach_burn for r in rates)
+            ):
+                st.breaches.append({
+                    "t": round(t, 12),
+                    "slo": spec.name,
+                    "burn_rates": tuple(round(r, 3) for r in rates),
+                    "budget_remaining": round(st.budget_remaining, 4),
+                    "bottleneck": self._attribute(deltas),
+                })
+
+    def _source_deltas(self) -> dict[str, float]:
+        deltas = {}
+        for layer, fn in self.sources.items():
+            now = fn()
+            deltas[layer] = now - self._last_source_totals[layer]
+            self._last_source_totals[layer] = now
+        return deltas
+
+    @staticmethod
+    def _attribute(deltas: dict[str, float]) -> str:
+        """Layer whose cumulative time grew most since the last evaluation."""
+        best, best_d = "none", 0.0
+        for layer in sorted(deltas):
+            if deltas[layer] > best_d:
+                best, best_d = layer, deltas[layer]
+        return best
+
+    # -- reads ---------------------------------------------------------------
+    def breaches(self, name: Optional[str] = None) -> list[dict]:
+        if name is not None:
+            return list(self._state[name].breaches)
+        out = []
+        for s in self.specs:
+            out.extend(self._state[s.name].breaches)
+        out.sort(key=lambda b: (b["t"], b["slo"]))
+        return out
+
+    def summary(self) -> dict[str, dict]:
+        out = {}
+        for spec in self.specs:
+            st = self._state[spec.name]
+            breaches = st.breaches
+            bottlenecks = [b["bottleneck"] for b in breaches]
+            top = max(sorted(set(bottlenecks)), key=bottlenecks.count) if bottlenecks else "none"
+            out[spec.name] = {
+                "endpoint": spec.endpoint,
+                "threshold_us": spec.threshold_us,
+                "target_quantile": spec.target_quantile,
+                "observations": len(st.times),
+                "bad": st.bad_total,
+                "burn_rate": round(st.burn_rate, 3),
+                "max_burn_rate": round(
+                    max((max(b["burn_rates"]) for b in breaches), default=st.burn_rate), 3
+                ),
+                "budget_remaining": round(st.budget_remaining, 4),
+                "breaches": len(breaches),
+                "bottleneck": top,
+            }
+        return out
+
+    def collect(self) -> dict[str, float]:
+        """Registry collector: ``slo.<name>.{burn_rate,budget_remaining,breaches}``."""
+        out: dict[str, float] = {}
+        for spec in self.specs:
+            st = self._state[spec.name]
+            pre = f"slo.{spec.name}"
+            out[f"{pre}.burn_rate"] = round(st.burn_rate, 4)
+            out[f"{pre}.budget_remaining"] = round(st.budget_remaining, 4)
+            out[f"{pre}.breaches"] = len(st.breaches)
+        return out
+
+
+def sketch_layer_sources(hub, layers: dict[str, tuple]) -> dict[str, Callable[[], float]]:
+    """Build attribution sources from hub sketch totals.
+
+    ``layers`` maps a layer label to ``(include_names, exclude_names)``:
+    the layer's cumulative time is the sum of the include sketches' totals
+    minus the excludes' — the same telescoping idea as the flight
+    recorder's exclusive-time report, applied to running totals.
+    """
+    def make(inc: tuple, exc: tuple) -> Callable[[], float]:
+        def total() -> float:
+            return (
+                sum(hub.total(n) for n in inc) - sum(hub.total(n) for n in exc)
+            )
+        return total
+
+    return {layer: make(inc, exc) for layer, (inc, exc) in layers.items()}

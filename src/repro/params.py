@@ -311,6 +311,24 @@ class SystemParams:
     #: data-server restart cost (process respawn + re-register)
     ds_restart_delay: float = 500 * US
 
+    # ---- SLO engine & streaming quantile sketches (see DESIGN.md §15) -------------------
+    #: feed per-endpoint DDSketch-style quantile sketches from the choke
+    #: points (dispatch, KV client/shard, stripe I/O, MDS, cache control,
+    #: fabric send, client ops) and expose lat.*.p50/p95/p99/p999 in every
+    #: registry snapshot.  Observation never touches the sim clock or RNG,
+    #: but the extra snapshot keys mean the default stays off to keep the
+    #: golden signatures bit-identical.
+    obsv_sketches: bool = False
+    #: sketch relative-error bound (DDSketch alpha)
+    obsv_sketch_alpha: float = 0.02
+    #: tail-based trace sampling: keep full span trees only for client ops
+    #: above their name's observed obsv_tail_quantile, plus a deterministic
+    #: 1-in-obsv_tail_baseline floor and an obsv_tail_warmup ramp
+    obsv_tail_sample: bool = False
+    obsv_tail_quantile: float = 0.95
+    obsv_tail_baseline: int = 32
+    obsv_tail_warmup: int = 16
+
     # ---- file geometry ------------------------------------------------------------------
     small_file_threshold: int = 8 * KiB  # KVFS small-file KV limit
     kvfs_block_size: int = 8 * KiB  # big-file in-place update granularity

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import random
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -35,9 +36,40 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "LoopStats",
+    "LOOP_STATS",
     "PRIORITY_URGENT",
     "PRIORITY_NORMAL",
 ]
+
+
+class LoopStats:
+    """Cumulative wall-clock accounting of every :meth:`Environment.run`
+    loop in this process.
+
+    The module-level :data:`LOOP_STATS` singleton is read by the
+    ``BENCH_*.json`` envelope stamper so every benchmark records the
+    simulator's raw speed (``events_per_sec``) alongside its simulated
+    metrics.  Two ``perf_counter`` reads per ``run()`` call — nothing on
+    the per-event path.
+    """
+
+    __slots__ = ("wall_s", "events", "runs")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.wall_s = 0.0
+        self.events = 0
+        self.runs = 0
+
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+#: process-wide run-loop stats (see :class:`LoopStats`)
+LOOP_STATS = LoopStats()
 
 #: Event priorities.  URGENT is used for resource hand-off so that a released
 #: resource is re-granted before same-timestamp timeouts observe it free.
@@ -338,6 +370,10 @@ class Environment:
         #: from this one integer.
         self.seed = seed
         self.rng = random.Random(seed)
+        #: optional :class:`repro.obsv.profiler.SimProfiler`; when installed,
+        #: :meth:`step` routes callback execution through it for per-site
+        #: wall-clock attribution.  None on the default (fast) path.
+        self._profiler = None
 
     def substream(self, name: str) -> random.Random:
         """A named, independent RNG derived from the master seed.
@@ -391,10 +427,18 @@ class Environment:
         A :class:`Process` that terminated with an exception and has no
         waiter re-raises here: errors never vanish silently.
         """
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        had_waiters = bool(event.callbacks)
-        event._run_callbacks()
+        prof = self._profiler
+        if prof is None:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            self._now = when
+            had_waiters = bool(event.callbacks)
+            event._run_callbacks()
+        else:
+            t0 = perf_counter()
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            self._now = when
+            had_waiters = bool(event.callbacks)
+            prof.run_event(event, t0)
         if isinstance(event, Process) and not event._ok and not had_waiters:
             raise event._value
 
@@ -415,13 +459,20 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError("until lies in the past")
 
-        while self._queue:
-            if stop_event is not None and stop_event._processed:
-                break
-            if self._queue[0][0] > stop_time:
-                self._now = stop_time
-                break
-            self.step()
+        t0 = perf_counter()
+        seq0 = self._seq
+        try:
+            while self._queue:
+                if stop_event is not None and stop_event._processed:
+                    break
+                if self._queue[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                self.step()
+        finally:
+            LOOP_STATS.wall_s += perf_counter() - t0
+            LOOP_STATS.events += self._seq - seq0
+            LOOP_STATS.runs += 1
 
         if stop_event is not None:
             if not stop_event._triggered:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from ..obsv.quantiles import NULL_HUB
 from .core import Environment, Event
 from .resources import Store, TokenBucket
 
@@ -49,6 +50,9 @@ class RpcEndpoint:
 class Fabric:
     """The switched network: registry of endpoints + latency model."""
 
+    #: latency-sketch hub; builders replace this with a live hub
+    sketches = NULL_HUB
+
     def __init__(
         self,
         env: Environment,
@@ -80,6 +84,7 @@ class Fabric:
         self, src: str, dst: str, payload: Any, size: int, reply_to: Optional[Store] = None
     ) -> Generator[Event, None, None]:
         """Transmit a message; completes when it lands in ``dst``'s inbox."""
+        t0 = self.env.now
         sep = self.endpoints[src]
         dep = self.endpoints[dst]
         sep.messages_out += 1
@@ -95,11 +100,13 @@ class Fabric:
             # Lost on the wire: the sender has paid serialisation, nothing
             # arrives.  Only a timeout can save the caller now.
             self.messages_dropped += 1
+            self.sketches.observe("net.send", self.env.now - t0)
             return
         yield self.env.timeout(self.latency + extra)
         yield dep.rx.transfer(size)
         dep.messages_in += 1
         yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
+        self.sketches.observe("net.send", self.env.now - t0)
         if action == "dup":
             # Fabric-level duplication: a second copy lands after paying the
             # ingress pipe again.

@@ -20,6 +20,7 @@ from typing import Callable, Generator, Optional
 from bisect import bisect_left
 
 from ..metrics.stats import LatencyRecorder
+from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
 from ..sim.cpu import CpuPool
@@ -149,6 +150,7 @@ def run_job(
     dpu_cpu: Optional[CpuPool] = None,
     payload_byte: int = 0x5A,
     tracer=NULL_TRACER,
+    sketches=NULL_HUB,
 ) -> JobResult:
     """Execute ``spec`` with one simulation process per thread.
 
@@ -181,6 +183,7 @@ def run_job(
                 except Exception:
                     errors[0] += 1
             lat.add(env.now - t0)
+            sketches.observe("client.read" if is_read else "client.write", env.now - t0)
 
     if host_cpu is not None:
         host_cpu.begin_window()
@@ -318,6 +321,8 @@ def run_cluster_job(cluster, spec: ClusterJobSpec, payload_byte: int = 0x5A) -> 
 
     def thread(node_idx: int, tid: int, handles: list) -> Generator[Event, None, None]:
         node = cluster.nodes[node_idx]
+        hub = node.sketches if node.sketches is not None else NULL_HUB
+        tracer = node.tracer if node.tracer is not None else NULL_TRACER
         rng = env.substream(f"cjob:{spec.name}:n{node_idx}:t{tid}")
         for _ in range(spec.ops_per_thread):
             fidx = bisect_left(cdf, rng.random())
@@ -329,14 +334,17 @@ def run_cluster_job(cluster, spec: ClusterJobSpec, payload_byte: int = 0x5A) -> 
             else:
                 is_read = rng.random() < spec.read_fraction
             t0 = env.now
-            try:
-                if is_read:
-                    yield from node.vfs.read(handles[fidx], off, spec.block_size)
-                else:
-                    yield from node.vfs.write(handles[fidx], off, block)
-            except Exception:
-                errors[0] += 1
+            name = "op.read" if is_read else "op.write"
+            with tracer.span(name, track="client", parent=None, tid=tid):
+                try:
+                    if is_read:
+                        yield from node.vfs.read(handles[fidx], off, spec.block_size)
+                    else:
+                        yield from node.vfs.write(handles[fidx], off, block)
+                except Exception:
+                    errors[0] += 1
             lat.add(env.now - t0)
+            hub.observe("client.read" if is_read else "client.write", env.now - t0)
             node_ops[node_idx] += 1
 
     def node_driver(node_idx: int) -> Generator[Event, None, None]:

@@ -1,0 +1,147 @@
+"""DES self-profiler, loop-speed accounting, and the BENCH envelope."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import SCHEMA_VERSION, envelope, write_envelope
+from repro.obsv.profiler import SimProfiler, _site_of
+from repro.sim.core import LOOP_STATS, Environment
+
+
+def _busy_flow(env, nworkers=8, rounds=40):
+    def worker(i):
+        for _ in range(rounds):
+            yield env.timeout(1e-6 * (i + 1))
+
+    return [env.process(worker(i), name=f"w{i}") for i in range(nworkers)]
+
+
+# ---------------------------------------------------------------------------
+# SimProfiler
+# ---------------------------------------------------------------------------
+
+def test_profiler_attributes_sites_and_counts_events():
+    env = Environment(seed=1)
+    prof = SimProfiler().install(env)
+    procs = _busy_flow(env)
+    prof.start()
+    env.run(until=env.all_of(procs))
+    prof.stop()
+    prof.uninstall()
+    rep = prof.report()
+    assert rep["events"] > 0 and rep["callbacks"] > 0
+    assert rep["wall_clock_s"] > 0
+    sites = {row["site"] for row in rep["sites"]}
+    # per-thread clones collapse into one site: w0..w7 -> Process:wN
+    assert "Process:wN" in sites
+    assert not any(s.startswith("Process:w0") for s in sites)
+    total_site_s = sum(row["seconds"] for row in rep["sites"])
+    assert rep["callback_s"] == pytest.approx(total_site_s)
+    # attributed + kernel never exceeds the profiled wall clock
+    assert rep["callback_s"] + rep["kernel_s"] <= rep["wall_clock_s"] * 1.01
+    assert 0.0 < rep["coverage"] <= 1.01
+
+
+def test_profiler_coverage_meets_attribution_floor():
+    env = Environment(seed=2)
+    prof = SimProfiler().install(env)
+    procs = _busy_flow(env, nworkers=16, rounds=200)
+    prof.start()
+    env.run(until=env.all_of(procs))
+    prof.stop()
+    prof.uninstall()
+    rep = prof.report()
+    # the acceptance bar is >= 90% on the full simspeed run; a synthetic
+    # micro-run keeps a margin for scheduler noise
+    assert rep["coverage"] >= 0.8, rep["coverage"]
+
+
+def test_profiler_does_not_perturb_simulated_time():
+    def run(profiled: bool):
+        env = Environment(seed=3)
+        procs = _busy_flow(env, nworkers=4, rounds=20)
+        prof = SimProfiler().install(env) if profiled else None
+        env.run(until=env.all_of(procs))
+        if prof is not None:
+            prof.uninstall()
+        return env.now
+
+    assert run(False) == run(True)
+
+
+def test_profiler_double_install_rejected():
+    env = Environment(seed=1)
+    prof = SimProfiler().install(env)
+    with pytest.raises(RuntimeError):
+        SimProfiler().install(env)
+    prof.uninstall()
+    assert env._profiler is None
+
+
+def test_profiler_report_top_and_render():
+    env = Environment(seed=4)
+    with SimProfiler().install(env) as prof:
+        env.run(until=env.all_of(_busy_flow(env)))
+    assert len(prof.report(top=1)["sites"]) == 1
+    text = prof.render()
+    assert "coverage" in text and "kernel" in text
+
+
+def test_site_naming_collapses_digit_runs():
+    class Owner:
+        name = "ds3-req17"
+
+        def cb(self, ev):  # pragma: no cover - never called
+            pass
+
+    class Anon:
+        name = ""
+
+        def cb(self, ev):  # pragma: no cover - never called
+            pass
+
+    assert _site_of(Owner().cb) == "Owner:dsN-reqN"
+    assert _site_of(Anon().cb) == "Anon.cb"
+
+
+# ---------------------------------------------------------------------------
+# LoopStats / envelope
+# ---------------------------------------------------------------------------
+
+def test_loop_stats_accumulate_across_runs():
+    LOOP_STATS.reset()
+    env = Environment(seed=5)
+    env.run(until=env.all_of(_busy_flow(env, nworkers=4, rounds=10)))
+    assert LOOP_STATS.runs == 1
+    assert LOOP_STATS.events > 0
+    assert LOOP_STATS.wall_s > 0
+    assert LOOP_STATS.events_per_sec() > 0
+    before = LOOP_STATS.events
+    env2 = Environment(seed=5)
+    env2.run(until=env2.all_of(_busy_flow(env2, nworkers=4, rounds=10)))
+    assert LOOP_STATS.runs == 2 and LOOP_STATS.events == 2 * before
+
+
+def test_envelope_shape_and_loop_stamp():
+    LOOP_STATS.reset()
+    env = Environment(seed=6)
+    env.run(until=env.all_of(_busy_flow(env, nworkers=2, rounds=5)))
+    out = envelope({"a/b": 1.5}, seed=6)
+    assert out["schema"] == SCHEMA_VERSION == 2
+    assert out["seed"] == 6
+    assert isinstance(out["git_sha"], str) and out["git_sha"]
+    assert out["wall_clock_s"] == round(LOOP_STATS.wall_s, 4)
+    assert out["events_per_sec"] == round(LOOP_STATS.events_per_sec(), 1)
+    assert out["metrics"] == {"a/b": 1.5}
+
+
+def test_write_envelope_roundtrips(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    out = write_envelope("x", {"k": 1}, path=path)
+    assert out == path
+    data = json.loads(path.read_text())
+    assert data["schema"] == 2 and data["metrics"] == {"k": 1}
+    assert set(data) == {
+        "schema", "seed", "git_sha", "wall_clock_s", "events_per_sec", "metrics",
+    }

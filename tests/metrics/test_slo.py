@@ -1,0 +1,212 @@
+"""SloEngine semantics: burn-rate math, breach conditions, attribution."""
+
+import pytest
+
+from repro.obsv.quantiles import SketchHub
+from repro.obsv.slo import SloEngine, SloSpec, sketch_layer_sources
+
+MS = 1e-3
+US = 1e-6
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+
+def make_engine(clock, windows=(10 * MS,), target=0.9, threshold_us=100.0,
+                eval_interval=MS, sources=None, **kw):
+    spec = SloSpec(
+        name="read",
+        endpoint="client.read",
+        threshold_us=threshold_us,
+        target_quantile=target,
+        windows=windows,
+    )
+    return spec, SloEngine(
+        [spec], now_fn=clock.now, eval_interval=eval_interval,
+        sources=sources, **kw,
+    )
+
+
+def test_spec_budget_is_one_minus_target():
+    spec = SloSpec("s", "ep", threshold_us=1.0, target_quantile=0.95)
+    assert spec.budget == pytest.approx(0.05)
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    clock = Clock()
+    # one 20ms window covers the whole stream at every evaluation instant;
+    # the 0.7ms eval cadence never lands exactly on an observation time
+    _, eng = make_engine(clock, windows=(20 * MS,), eval_interval=0.7 * MS)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        # 2 of 10 observations over the 100us threshold
+        eng.record("client.read", 200 * US if i >= 8 else 50 * US)
+    eng.finish(11 * MS)
+    s = eng.summary()["read"]
+    assert s["observations"] == 10 and s["bad"] == 2
+    assert s["burn_rate"] == pytest.approx((2 / 10) / 0.1)  # = 2.0
+    # 2 bad vs 1 allowed (0.1 * 10): budget overdrawn by 2x
+    assert s["budget_remaining"] == pytest.approx(1.0 - 2 / 1.0)
+
+
+def test_no_breach_below_breach_burn():
+    clock = Clock()
+    # breach_burn defaults to 2.0; this stream peaks at burn == 1.0
+    _, eng = make_engine(clock, windows=(20 * MS,), eval_interval=0.7 * MS)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        eng.record("client.read", 200 * US if i >= 9 else 50 * US)
+    eng.finish(11 * MS)
+    assert eng.summary()["read"]["burn_rate"] == pytest.approx(1.0)
+    assert eng.breaches() == []
+
+
+def test_breach_logged_when_every_window_burns_hot():
+    clock = Clock()
+    _, eng = make_engine(clock, windows=(5 * MS, 20 * MS))
+    for i in range(10):
+        clock.t = 16 * MS + i * 0.4 * MS  # all inside both windows
+        eng.record("client.read", 500 * US)  # 100% bad -> burn 10
+    eng.finish(20 * MS)
+    breaches = eng.breaches()
+    assert breaches
+    b = breaches[0]
+    assert b["slo"] == "read"
+    assert len(b["burn_rates"]) == 2
+    assert all(r > 2.0 for r in b["burn_rates"])
+    assert eng.summary()["read"]["breaches"] == len(breaches)
+
+
+def test_no_breach_while_long_window_is_cool():
+    # the same stream: 17.5ms of good traffic, then a ~1ms hot blip
+    def drive(windows):
+        clock = Clock()
+        _, eng = make_engine(clock, windows=windows)
+        for i in range(35):
+            clock.t = (i + 1) * 0.5 * MS
+            eng.record("client.read", 10 * US)
+        for i in range(8):
+            clock.t = 17.5 * MS + (i + 1) * 0.12 * MS
+            eng.record("client.read", 500 * US)
+        eng.finish(19 * MS)
+        return eng
+
+    # a short-window-only objective pages on the blip...
+    assert drive((2 * MS,)).breaches()
+    # ...but the long window dilutes it below breach_burn, so no page
+    assert drive((2 * MS, 20 * MS)).breaches() == []
+
+
+def test_min_events_suppresses_thin_window_breaches():
+    clock = Clock()
+    _, eng = make_engine(clock, min_events=5)
+    for i in range(3):  # 3 bad events: hot burn but too thin
+        clock.t = (i + 1) * MS
+        eng.record("client.read", 500 * US)
+    eng.finish(10 * MS)
+    assert eng.summary()["read"]["burn_rate"] == pytest.approx(10.0)
+    assert eng.breaches() == []
+
+
+def test_bottleneck_attribution_names_fastest_growing_source():
+    clock = Clock()
+    # cumulative per-layer time grows with the clock; disk grows 50x faster
+    sources = {"net": lambda: clock.t * 0.01, "disk": lambda: clock.t * 0.5}
+    _, eng = make_engine(clock, sources=sources)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        eng.record("client.read", 500 * US)
+    eng.finish(10 * MS)
+    breaches = eng.breaches()
+    assert breaches and breaches[0]["bottleneck"] == "disk"
+    assert eng.summary()["read"]["bottleneck"] == "disk"
+
+
+def test_attribution_without_growth_is_none():
+    clock = Clock()
+    sources = {"net": lambda: 0.0}
+    _, eng = make_engine(clock, sources=sources)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        eng.record("client.read", 500 * US)
+    eng.finish(10 * MS)
+    assert all(b["bottleneck"] == "none" for b in eng.breaches())
+
+
+def test_collect_emits_slo_gauges():
+    clock = Clock()
+    _, eng = make_engine(clock)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        eng.record("client.read", 500 * US)
+    eng.finish(10 * MS)
+    out = eng.collect()
+    assert out["slo.read.burn_rate"] == pytest.approx(10.0)
+    assert out["slo.read.breaches"] >= 1
+    assert out["slo.read.budget_remaining"] < 0  # budget overdrawn
+
+
+def test_unmatched_endpoints_still_drive_evaluation():
+    clock = Clock()
+    _, eng = make_engine(clock)
+    for i in range(5):
+        clock.t = (i + 1) * MS
+        eng.record("kv.rpc.get", 1 * US)  # no spec watches this endpoint
+    eng.finish(5 * MS)
+    assert eng.evals > 0
+    s = eng.summary()["read"]
+    assert s["observations"] == 0 and s["burn_rate"] == 0.0
+    assert s["budget_remaining"] == 1.0
+
+
+def test_engine_taps_hub_subscription():
+    clock = Clock()
+    hub = SketchHub()
+    _, eng = make_engine(clock)
+    eng.connect(hub)
+    for i in range(10):
+        clock.t = (i + 1) * MS
+        hub.observe("client.read", 500 * US)
+    eng.finish(10 * MS)
+    assert eng.summary()["read"]["observations"] == 10
+    assert eng.breaches()
+
+
+def test_sketch_layer_sources_telescopes_include_minus_exclude():
+    hub = SketchHub()
+    hub.observe("stripe.read", 30 * US)
+    hub.observe("stripe.read", 10 * US)
+    hub.observe("ds.rpc", 25 * US)
+    layers = {
+        "ec": (("stripe.read", "stripe.write"), ("ds.rpc",)),
+        "ds": (("ds.rpc",), ()),
+    }
+    sources = sketch_layer_sources(hub, layers)
+    assert sources["ec"]() == pytest.approx(15 * US)
+    assert sources["ds"]() == pytest.approx(25 * US)
+    hub.observe("ds.rpc", 5 * US)
+    assert sources["ec"]() == pytest.approx(10 * US)
+
+
+def test_same_stream_yields_identical_breach_logs():
+    def drive():
+        clock = Clock()
+        totals = {"a": 0.0}
+
+        def tick():
+            totals["a"] += 1 * US
+            return totals["a"]
+
+        _, eng = make_engine(clock, sources={"a": tick})
+        for i in range(20):
+            clock.t = (i + 1) * 0.7 * MS
+            eng.record("client.read", (500 if i % 3 else 20) * US)
+        eng.finish(15 * MS)
+        return eng.breaches(), eng.summary()
+
+    assert drive() == drive()

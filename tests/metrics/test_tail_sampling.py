@@ -1,0 +1,182 @@
+"""Tail-based trace sampling: sampler rules, kept-tree completeness, and
+bit-identical determinism of the sampled observability surface."""
+
+import pytest
+
+from repro.experiments.fig9_dfs import run_case
+from repro.obsv import disable_tracing, enable_tracing
+from repro.obsv.tracer import TailSampler
+from repro.params import default_params
+
+US = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# TailSampler unit rules
+# ---------------------------------------------------------------------------
+
+def test_sampler_warmup_keeps_early_roots():
+    s = TailSampler(quantile=0.9, baseline=10**9, warmup=4)
+    assert s.threshold("op") is None
+    for _ in range(4):
+        assert s.admit("op", 10 * US)
+    assert s.threshold("op") == pytest.approx(10 * US, rel=0.03)
+
+
+def test_sampler_keeps_tail_drops_bulk():
+    s = TailSampler(quantile=0.9, baseline=10**9, warmup=4)
+    for _ in range(4):
+        s.admit("op", 10 * US)  # warmup history at 10us
+    assert not s.admit("op", 9 * US)   # under the p90 of history -> dropped
+    assert s.admit("op", 100 * US)     # a 10x outlier -> kept as tail
+    assert s.tail_kept == 1
+    assert s.dropped == 1
+
+
+def test_sampler_baseline_one_in_n_floor():
+    # strictly geometrically decreasing durations: every post-warmup sample
+    # sits far below its prior history's p90, so only the baseline keeps
+    s = TailSampler(quantile=0.9, baseline=5, warmup=3)
+    kept = [s.admit("op", 100 * US * 0.8 ** i) for i in range(23)]
+    assert kept == [i < 3 or i % 5 == 0 for i in range(23)]
+    assert s.tail_kept == 0
+    assert s.baseline_kept == 5  # i = 0, 5, 10, 15, 20
+
+
+def test_sampler_threshold_read_before_observe():
+    # the decision must use the *prior* history: p50 of {10, 1000, 1000}us
+    # is ~1000us, so a 100us sample is dropped.  Had the sample been folded
+    # in first, the p50 would land on its own bucket and keep it.
+    s = TailSampler(quantile=0.5, baseline=10**9, warmup=3)
+    for d in (10 * US, 1000 * US, 1000 * US):
+        s.admit("op", d)
+    assert not s.admit("op", 100 * US)
+    assert s.dropped == 1
+
+
+def test_sampler_tracks_names_independently():
+    s = TailSampler(quantile=0.9, baseline=10**9, warmup=2)
+    for _ in range(2):
+        s.admit("read", 10 * US)
+        s.admit("write", 1000 * US)
+    # 50us: tail for "read" history, bulk for "write" history
+    assert s.admit("read", 50 * US)
+    assert not s.admit("write", 50 * US)
+
+
+def test_sampler_validates_quantile():
+    with pytest.raises(ValueError):
+        TailSampler(quantile=1.0)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end on fig9 (DPC system, rnd-wr)
+# ---------------------------------------------------------------------------
+
+def _traced_fig9(tail: bool, nthreads=4, ops_per_thread=8):
+    p = default_params().with_overrides(
+        obsv_sketches=True, obsv_tail_sample=tail
+    )
+    ctx = enable_tracing()
+    try:
+        out = run_case("dpc", "rnd-wr", nthreads=nthreads,
+                       ops_per_thread=ops_per_thread, params=p)
+        name, tracer, registry = ctx.systems[0]
+        lat_snap = {
+            k: v for k, v in registry.snapshot().items()
+            if k.startswith("lat.")
+        }
+        return out, tracer, lat_snap
+    finally:
+        disable_tracing()
+
+
+def test_tail_sampling_drops_bulk_keeps_complete_outlier_trees():
+    out, tracer, _ = _traced_fig9(tail=True)
+    sampler = tracer.sampler
+    assert sampler is not None
+    assert sampler.kept + sampler.dropped == 32  # every client root decided
+    assert sampler.dropped > 0  # the bulk actually gets dropped
+    spans = tracer.spans
+    by_parent = tracer.children_index()
+    ids = {s.span_id for s in spans}
+    client_roots = [
+        s for s in spans
+        if s.track == "client" and (s.parent_id is None or s.parent_id not in ids)
+    ]
+    assert len(client_roots) == sampler.kept
+    for root in client_roots:
+        tracks = set()
+        stack = [root]
+        while stack:
+            s = stack.pop()
+            tracks.add(s.track)
+            assert s.end is not None  # kept trees are complete
+            stack.extend(by_parent.get(s.span_id, ()))
+        # every kept op carries its full cross-layer story
+        assert len(tracks) >= 4, (root.name, sorted(tracks))
+
+
+def test_tail_decisions_replay_from_unsampled_trace():
+    # replay the full (unsampled) trace's client roots through a fresh
+    # sampler with the testbed's parameters: the predicted keep set must be
+    # exactly the roots that survived in the sampled run — i.e. every op the
+    # policy says is above threshold (or baseline/warmup) kept its tree
+    _, tr_full, _ = _traced_fig9(tail=False)
+    _, tr_tail, _ = _traced_fig9(tail=True)
+    p = default_params()
+    replay = TailSampler(
+        quantile=p.obsv_tail_quantile,
+        baseline=p.obsv_tail_baseline,
+        warmup=p.obsv_tail_warmup,
+        alpha=p.obsv_sketch_alpha,
+    )
+    predicted = set()
+    for s in tr_full.spans:  # completion order, same as the live run
+        if s.track == "client" and s.parent_id is None:
+            if replay.admit(s.name, s.duration):
+                predicted.add(s.span_id)
+    kept = {
+        s.span_id for s in tr_tail.spans
+        if s.track == "client" and s.parent_id is None
+    }
+    assert kept == predicted
+    assert tr_tail.sampler.threshold("op") is not None
+
+
+def test_tail_sampled_runs_are_bit_identical_at_same_seed():
+    out1, tr1, snap1 = _traced_fig9(tail=True)
+    out2, tr2, snap2 = _traced_fig9(tail=True)
+    assert tr1.signature() == tr2.signature()
+    assert snap1 == snap2  # sketch snapshots bit-identical
+    assert out1 == out2
+    s1, s2 = tr1.sampler, tr2.sampler
+    assert (s1.kept, s1.dropped, s1.tail_kept, s1.baseline_kept) == (
+        s2.kept, s2.dropped, s2.tail_kept, s2.baseline_kept
+    )
+
+
+def test_sampling_does_not_change_simulated_results():
+    out_full, tr_full, snap_full = _traced_fig9(tail=False)
+    out_tail, tr_tail, snap_tail = _traced_fig9(tail=True)
+    # sampling only drops recorded spans; timing and sketches are untouched
+    assert out_tail == out_full
+    assert snap_tail == snap_full
+    assert tr_full.sampler is None
+    assert len(tr_tail.spans) < len(tr_full.spans)
+    # the kept spans are a subset of the full trace (same ids, same times)
+    full_by_id = {s.span_id: s for s in tr_full.spans}
+    for s in tr_tail.spans:
+        ref = full_by_id[s.span_id]
+        assert (s.name, s.track, s.start, s.end) == (
+            ref.name, ref.track, ref.start, ref.end
+        )
+
+
+def test_sketch_p99_matches_exact_p99_on_fig9():
+    out, _, snap = _traced_fig9(tail=False, nthreads=8, ops_per_thread=25)
+    exact = out["lat_p99_us"]
+    sketch = snap["lat.client.op.p99"]
+    assert exact > 0
+    # sketch alpha is 0.02; allow 2x for the us rounding in the collector
+    assert abs(sketch - exact) / exact <= 0.05, (sketch, exact)
