@@ -30,7 +30,7 @@ from ..dfs import MdsCluster, OffloadedDfsClient, StandardNfsClient, build_dfs
 from ..dpu.dispatch import IoDispatch
 from ..dpu.striping import StripedNvme, build_nvme_array
 from ..dpu.virtual import VirtualClient
-from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
+from ..fault import CircuitBreaker, FaultPlane, RequestConfig, retry_policy_from
 from ..host.adapters import Ext4Adapter
 from ..host.fsadapter import DpcAdapter, DpfsAdapter
 from ..host.vfs import Vfs
@@ -62,6 +62,7 @@ from .topology import (
     _collect_fault,
     _collect_nvme,
     _collect_pcie,
+    _collect_req,
     _collect_ssd,
     _dpu_cpu,
     _host_cpu,
@@ -350,6 +351,17 @@ def build_host_dfs_clients(
     )
     registry = Registry("host-dfs")
     registry.collect(_collect_cpu(host_cpu))
+    if RequestConfig.from_params(p).enabled:
+        registry.collect(
+            _collect_req(
+                [
+                    getattr(std, "_req", None),
+                    getattr(opt, "_req", None),
+                    getattr(getattr(std, "stripeio", None), "_req", None),
+                    getattr(getattr(opt, "stripeio", None), "_req", None),
+                ]
+            )
+        )
     registry.collect(_collect_fault(plane))
     registry.collect(_collect_dfs("dfs.std", std))
     registry.collect(_collect_dfs("dfs.opt", opt))

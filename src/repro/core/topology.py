@@ -42,7 +42,7 @@ from ..cache.layout import CacheLayout
 from ..dfs import MdsCluster, OffloadedDfsClient, build_dfs
 from ..dpu.dispatch import FLAG_LOCAL, IoDispatch
 from ..dpu.striping import StripedNvme, build_nvme_array
-from ..fault import CircuitBreaker, FaultPlane, retry_policy_from
+from ..fault import CircuitBreaker, FaultPlane, RequestConfig, retry_policy_from
 from ..host.adapters import Ext4Adapter
 from ..host.fsadapter import DpcAdapter
 from ..host.vfs import Vfs
@@ -314,6 +314,29 @@ def _collect_dfs(prefix: str, client):
     return fn
 
 
+def _collect_req(engines):
+    """Request-engine counters, keyed ``req.<endpoint>.<counter>``.
+
+    Only registered when hedging/adaptive retry is on (the engine records
+    per-endpoint stats either way, but default snapshots must keep their
+    golden key set).  Engines on one node (KV client, DFS client, stripe
+    IO) are summed per destination endpoint.
+    """
+
+    def fn() -> dict:
+        out: dict[str, float] = {}
+        for eng in engines:
+            if eng is None:
+                continue
+            for ep, st in eng.stats.items():
+                for k, v in st.as_dict().items():
+                    key = f"req.{ep}.{k}"
+                    out[key] = out.get(key, 0) + v
+        return out
+
+    return fn
+
+
 def _collect_fault(plane: FaultPlane):
     def fn() -> dict:
         out = {"fault.events": len(plane.trace)}
@@ -520,6 +543,7 @@ def build_cluster(
     env = Environment(seed=p.seed)
     plane = FaultPlane(env)
     retry = retry_policy_from(p)
+    req_config = RequestConfig.from_params(p)
 
     fabric: Optional[Fabric] = None
     kv_cluster: Optional[KvCluster] = None
@@ -569,6 +593,8 @@ def build_cluster(
             retry=retry,
             plane=plane,
             ring=kv_cluster.ring.clone() if kv_cluster.ring is not None else None,
+            config=req_config,
+            inline_hints=p.kv_inline_hints,
         )
         kvfs = Kvfs(env, kv_client, dpu_cpu, p)
         dfs_client = None
@@ -684,6 +710,18 @@ def build_cluster(
         registry.collect(_collect_dispatch(dispatch))
         if local_nvme is not None:
             registry.collect(_collect_ssd(local_nvme))
+        if req_config.enabled:
+            registry.collect(
+                _collect_req(
+                    [
+                        kv_client._req,
+                        getattr(dfs_client, "_req", None),
+                        getattr(
+                            getattr(dfs_client, "stripeio", None), "_req", None
+                        ),
+                    ]
+                )
+            )
         registry.collect(_collect_fault(plane))
         if cache_host is not None:
             registry.collect(_collect_cache(cache_host))

@@ -23,12 +23,8 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..ec import StripeLayout
-from ..fault.retry import (
-    RetryBudgetExceeded,
-    RetryPolicy,
-    RpcTimeout,
-    call_with_timeout,
-)
+from ..fault.requests import RequestConfig, RequestEngine
+from ..fault.retry import RetryPolicy
 from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
@@ -79,10 +75,24 @@ class _FailureAwareRpc:
     def _init_fault(self, retry: Optional[RetryPolicy], plane) -> None:
         self.retry = retry
         self.plane = plane
-        self._rng = self.fabric.env.substream(f"dfs-retry:{self.src}")
-        self._opseq = 0
-        self.retries = 0
-        self.timeouts_exhausted = 0
+        self._req = RequestEngine(
+            self.fabric.env,
+            self.fabric,
+            self.src,
+            retry,
+            plane=plane,
+            rng=self.fabric.env.substream(f"dfs-retry:{self.src}"),
+            hub_fn=lambda: self.sketches,
+            config=RequestConfig.from_params(self.params),
+        )
+
+    @property
+    def retries(self) -> int:
+        return self._req.retries
+
+    @property
+    def timeouts_exhausted(self) -> int:
+        return self._req.timeouts_exhausted
 
     def _mds_call(
         self, dst: str, op: tuple, size: int, mutating: bool = False
@@ -97,32 +107,15 @@ class _FailureAwareRpc:
         self, dst: str, op: tuple, size: int, mutating: bool
     ) -> Generator[Event, None, object]:
         payload = op
-        pol = self.retry
-        if mutating and pol is not None:
-            self._opseq += 1
-            payload = ("idem", f"{self.src}#{self._opseq}", op)
-        if pol is None:
-            resp = yield from self.fabric.rpc(self.src, dst, payload, size)
-            return resp
-        env = self.fabric.env
-        for attempt in range(1, pol.max_attempts + 1):
-            try:
-                resp = yield from call_with_timeout(
-                    env, self.fabric.rpc(self.src, dst, payload, size), pol.timeout
-                )
-                return resp
-            except RpcTimeout:
-                if attempt >= pol.max_attempts:
-                    self.timeouts_exhausted += 1
-                    if self.plane is not None:
-                        self.plane.record("retry-exhausted", self.src, dst)
-                    raise RetryBudgetExceeded(
-                        f"{self.src}->{dst} {op[0]} failed after {attempt} attempts"
-                    )
-                self.retries += 1
-                if self.plane is not None:
-                    self.plane.record("retry", self.src, f"{dst}:{op[0]}#{attempt}")
-                yield env.timeout(pol.backoff(attempt, self._rng))
+        if mutating and self.retry is not None:
+            payload = ("idem", self._req.next_token(), op)
+        # Hedge target: the same home MDS.  Reads are naturally idempotent;
+        # mutations carry the token above, so the home dedupes the loser.
+        hedge_to = (lambda: dst) if self._req.config.hedging else None
+        resp = yield from self._req.call(
+            dst, payload, size, op_label=op[0], hedge_to=hedge_to
+        )
+        return resp
 
 
 class StandardNfsClient(_FailureAwareRpc):

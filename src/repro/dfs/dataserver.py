@@ -38,6 +38,8 @@ class DataServer:
         self.units: dict[str, bytes] = {}
         self.reads = 0
         self.writes = 0
+        #: requests dropped unanswered after a tied-request wire cancel
+        self.cancel_drops = 0
         #: failure injection: a failed server answers every request with an
         #: error (clients fall back to degraded EC reads)
         self.failed = False
@@ -83,9 +85,17 @@ class DataServer:
         if self.failed:
             yield from self.fabric.reply(msg, ("err", "EHOSTDOWN"), MSG_OVERHEAD)
             return
+        if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+            # Tied-request loser cancelled on the wire: drop unanswered.
+            self.cancel_drops += 1
+            return
         req = self.threads.request()
         yield req
         try:
+            if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+                # Cancel landed while queued: free the thread, skip service.
+                self.cancel_drops += 1
+                return
             resp, size = yield from self._execute(msg.payload)
         finally:
             self.threads.release(req)

@@ -36,7 +36,8 @@ from typing import Generator, Optional
 
 from ..ec import StripeLayout
 from ..fault.idempotency import PENDING, IdempotencyFilter
-from ..fault.retry import RpcTimeout, call_with_timeout
+from ..fault.requests import RequestEngine
+from ..fault.retry import RetryPolicy
 from ..params import SystemParams
 from ..proto.filemsg import FileAttr
 from ..sim.core import Environment, Event
@@ -95,6 +96,16 @@ class MdsServer:
             )
         self.ops_served = 0
         self.forwards = 0
+        #: requests dropped unanswered after a tied-request wire cancel
+        self.cancel_drops = 0
+        # Delegation recalls are single-shot with a deadline; the shared
+        # request engine runs them in legacy mode (no hedging, no retries).
+        self._req = RequestEngine(
+            env,
+            fabric,
+            self.name,
+            RetryPolicy(timeout=params.deleg_recall_timeout, max_attempts=1),
+        )
         env.process(self._serve(), name=self.name)
 
     # -- home routing ---------------------------------------------------------
@@ -130,6 +141,10 @@ class MdsServer:
             self.env.process(self._handle(msg), name=f"{self.name}-req")
 
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
+        if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+            # Tied-request loser cancelled on the wire: drop unanswered.
+            self.cancel_drops += 1
+            return
         op = msg.payload
         token = None
         if isinstance(op, tuple) and op and op[0] == "idem":
@@ -149,6 +164,10 @@ class MdsServer:
         req = self.threads.request()
         yield req
         try:
+            if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+                # Cancel landed while queued: free the thread, skip service.
+                self.cancel_drops += 1
+                return
             seen, cached = self._idem.check(token)
             while seen and cached is PENDING:
                 # Same-token execution in flight (fabric duplicate): park
@@ -279,16 +298,15 @@ class MdsServer:
         """
         if owner not in self.fabric.endpoints:
             return  # owner never attached (or a test stub): nothing to recall
-        try:
-            yield from call_with_timeout(
-                self.env,
-                self.fabric.rpc(
-                    self.name, owner, ("deleg_recall", kind, ino), MSG_OVERHEAD
-                ),
-                self.params.deleg_recall_timeout,
-            )
-        except RpcTimeout:
-            pass  # owner crashed or unreachable; proceed on lease expiry
+        # One deadline-bounded attempt; a timeout means the owner crashed or
+        # is unreachable — proceed on lease expiry.
+        yield from self._req.call(
+            owner,
+            ("deleg_recall", kind, ino),
+            MSG_OVERHEAD,
+            on_exhausted="return",
+            exhaust_kind=None,
+        )
 
     def expire_client(self, client: str) -> int:
         """Force-revoke every delegation ``client`` holds (client failure).

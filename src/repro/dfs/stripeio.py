@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon, StripeLayout
-from ..fault.retry import RetryPolicy, RpcTimeout, call_with_timeout
+from ..fault.requests import RequestConfig, RequestEngine
+from ..fault.retry import RetryPolicy
 from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..params import SystemParams
@@ -67,16 +68,28 @@ class StripeIO:
         #: ablation switch: with False, a down data server fails the read
         #: instead of reconstructing from surviving shards
         self.degraded_reads = degraded_reads
-        self._rng = env.substream(f"stripeio:{src}")
+        self._req = RequestEngine(
+            env,
+            fabric,
+            src,
+            retry,
+            plane=plane,
+            rng=env.substream(f"stripeio:{src}"),
+            hub_fn=lambda: self.sketches,
+            config=RequestConfig.from_params(params),
+        )
         self.units_read = 0
         self.units_written = 0
-        self.retries = 0
         self.degraded_stripes = 0
         self.rebuilt_units = 0
 
+    @property
+    def retries(self) -> int:
+        return self._req.retries
+
     # -- plumbing --------------------------------------------------------------
     def _ds_call(
-        self, server: int, op: tuple, size: int
+        self, server: int, op: tuple, size: int, hedge_gen=None
     ) -> Generator[Event, None, object]:
         """RPC to a data server under the retry policy.
 
@@ -87,36 +100,31 @@ class StripeIO:
         """
         t0 = self.env.now
         with self.tracer.span("ds.rpc", track="net", dst=ds_name(server), op=str(op[0])):
-            resp = yield from self._ds_call_impl(server, op, size)
+            resp = yield from self._req.call(
+                ds_name(server),
+                op,
+                size,
+                op_label=op[0],
+                on_exhausted="return",
+                exhausted_value=("err", "ETIMEDOUT"),
+                hedge_gen=hedge_gen,
+            )
         self.sketches.observe("ds.rpc", self.env.now - t0)
         return resp
 
-    def _ds_call_impl(
-        self, server: int, op: tuple, size: int
-    ) -> Generator[Event, None, object]:
-        pol = self.retry
-        if pol is None:
-            resp = yield from self.fabric.rpc(self.src, ds_name(server), op, size)
-            return resp
-        for attempt in range(1, pol.max_attempts + 1):
-            try:
-                resp = yield from call_with_timeout(
-                    self.env,
-                    self.fabric.rpc(self.src, ds_name(server), op, size),
-                    pol.timeout,
-                )
-                return resp
-            except RpcTimeout:
-                if attempt >= pol.max_attempts:
-                    if self.plane is not None:
-                        self.plane.record("retry-exhausted", self.src, ds_name(server))
-                    return ("err", "ETIMEDOUT")
-                self.retries += 1
-                if self.plane is not None:
-                    self.plane.record(
-                        "retry", self.src, f"ds{server}:{op[0]}#{attempt}"
-                    )
-                yield self.env.timeout(pol.backoff(attempt, self._rng))
+    def _degraded_unit_hedge(self, file_id: int, stripe: int, shard_idx: int, server: int):
+        """Hedge factory: reconstruct the unit via an EC-degraded read of
+        its stripe instead of waiting on the slow/dead home server."""
+        unit = self.layout.stripe_unit
+
+        def factory():
+            def _gen():
+                whole = yield from self.read_degraded(file_id, stripe, {server})
+                return whole[shard_idx * unit : (shard_idx + 1) * unit]
+            return _gen()
+
+        return factory
+
     def _parallel(self, gens: list) -> Generator[Event, None, list]:
         procs = [self.env.process(g) for g in gens]
         if not procs:
@@ -142,10 +150,12 @@ class StripeIO:
         return data if data is not None else bytes(self.layout.stripe_unit)
 
     def _read_unit_safe(
-        self, server: int, key: str
+        self, server: int, key: str, hedge_gen=None
     ) -> Generator[Event, None, tuple[bool, object]]:
         """(True, data) on success; (False, server) if the server is down."""
-        data = yield from self._ds_call(server, ("read_unit", key), MSG_OVERHEAD)
+        data = yield from self._ds_call(
+            server, ("read_unit", key), MSG_OVERHEAD, hedge_gen=hedge_gen
+        )
         if self._is_err(data):
             return False, server
         self.units_read += 1
@@ -207,7 +217,12 @@ class StripeIO:
             lo = pos - u_file_off
             hi = min(end - u_file_off, unit)
             loc = lay.placement(file_id, stripe).shards[shard_idx]
-            gens.append(self._read_unit_safe(loc.server, loc.key))
+            hedge = None
+            if self._req.config.hedging and self.degraded_reads:
+                hedge = self._degraded_unit_hedge(
+                    file_id, stripe, shard_idx, loc.server
+                )
+            gens.append(self._read_unit_safe(loc.server, loc.key, hedge_gen=hedge))
             spans.append((stripe, shard_idx, lo, hi))
             pos = u_file_off + hi
         results = yield from self._parallel(gens)

@@ -24,6 +24,7 @@ event traces.
 from .breaker import CircuitBreaker
 from .idempotency import IdempotencyFilter
 from .plane import ChannelFaults, FaultEvent, FaultPlane
+from .requests import Attempt, Outcome, ReqStats, RequestConfig, RequestEngine
 from .retry import (
     RetryBudgetExceeded,
     RetryPolicy,
@@ -33,11 +34,16 @@ from .retry import (
 )
 
 __all__ = [
+    "Attempt",
     "ChannelFaults",
     "CircuitBreaker",
     "FaultEvent",
     "FaultPlane",
     "IdempotencyFilter",
+    "Outcome",
+    "ReqStats",
+    "RequestConfig",
+    "RequestEngine",
     "RetryBudgetExceeded",
     "RetryPolicy",
     "RpcTimeout",

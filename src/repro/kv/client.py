@@ -34,7 +34,8 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Generator, Optional, Sequence
 
-from ..fault.retry import RetryBudgetExceeded, RetryPolicy, RpcTimeout, call_with_timeout
+from ..fault.requests import RequestConfig, RequestEngine
+from ..fault.retry import RetryBudgetExceeded, RetryPolicy
 from ..obsv.quantiles import NULL_HUB
 from ..obsv.tracer import NULL_TRACER
 from ..sim.core import Environment, Event
@@ -87,6 +88,8 @@ class KvClient:
         retry: Optional[RetryPolicy] = None,
         plane=None,
         ring: Optional[HashRing] = None,
+        config: Optional[RequestConfig] = None,
+        inline_hints: bool = False,
     ):
         if not shard_names and ring is None:
             raise ValueError("need at least one shard")
@@ -100,13 +103,30 @@ class KvClient:
         self.retry = retry
         self.plane = plane
         self.ring = ring
-        self._rng = fabric.env.substream(f"kv-retry:{src}")
+        #: emit hinted put/cas op codes for declared inline candidates; off
+        #: keeps the wire format byte-identical
+        self.inline_hints = inline_hints
+        self._req = RequestEngine(
+            fabric.env,
+            fabric,
+            src,
+            retry,
+            plane=plane,
+            rng=fabric.env.substream(f"kv-retry:{src}"),
+            hub_fn=lambda: self.sketches,
+            config=config or RequestConfig(),
+        )
         self._txseq = 0
-        self._opseq = 0
         self.ops_issued = 0
-        self.retries = 0
-        self.timeouts_exhausted = 0
         self.stale_reroutes = 0
+
+    @property
+    def retries(self) -> int:
+        return self._req.retries
+
+    @property
+    def timeouts_exhausted(self) -> int:
+        return self._req.timeouts_exhausted
 
     # -- failure handling ---------------------------------------------------------
     def _token(self) -> Optional[str]:
@@ -114,11 +134,10 @@ class KvClient:
         off: the wire format stays identical to the fail-free client)."""
         if self.retry is None:
             return None
-        self._opseq += 1
-        return f"{self.src}#{self._opseq}"
+        return self._req.next_token()
 
     def _call(
-        self, dst: str, payload: tuple, size: int
+        self, dst: str, payload: tuple, size: int, hedge_to=None
     ) -> Generator[Event, None, Any]:
         """One logical RPC: deadline + backoff + retry budget."""
         t0 = self.fabric.env.now
@@ -127,36 +146,11 @@ class KvClient:
         if names is None:
             names = _RPC_NAMES[op] = (str(op), f"kv.rpc.{op}")
         with self.tracer.span("kv.rpc", track="net", dst=dst, op=names[0]):
-            resp = yield from self._call_impl(dst, payload, size)
+            resp = yield from self._req.call(
+                dst, payload, size, op_label=op, hedge_to=hedge_to
+            )
         self.sketches.observe(names[1], self.fabric.env.now - t0)
         return resp
-
-    def _call_impl(
-        self, dst: str, payload: tuple, size: int
-    ) -> Generator[Event, None, Any]:
-        pol = self.retry
-        if pol is None:
-            resp = yield from self.fabric.rpc(self.src, dst, payload, size)
-            return resp
-        env = self.fabric.env
-        for attempt in range(1, pol.max_attempts + 1):
-            try:
-                resp = yield from call_with_timeout(
-                    env, self.fabric.rpc(self.src, dst, payload, size), pol.timeout
-                )
-                return resp
-            except RpcTimeout:
-                if attempt >= pol.max_attempts:
-                    self.timeouts_exhausted += 1
-                    if self.plane is not None:
-                        self.plane.record("retry-exhausted", self.src, dst)
-                    raise RetryBudgetExceeded(
-                        f"{self.src}->{dst} {payload[0]} failed after {attempt} attempts"
-                    )
-                self.retries += 1
-                if self.plane is not None:
-                    self.plane.record("retry", self.src, f"{dst}:{payload[0]}#{attempt}")
-                yield env.timeout(pol.backoff(attempt, self._rng))
 
     # -- routing ----------------------------------------------------------------
     def _shard_for(self, routing: bytes) -> str:
@@ -194,11 +188,25 @@ class KvClient:
     ) -> Generator[Event, None, Any]:
         """Route + call, chasing ring versions until the op lands."""
         if self.ring is None:
-            resp = yield from self._call(self._shard_for(routing), op, size)
+            hedge_to = (
+                (lambda: self._shard_for(routing))
+                if self._req.config.hedging
+                else None
+            )
+            resp = yield from self._call(
+                self._shard_for(routing), op, size, hedge_to=hedge_to
+            )
             return resp
+        # Hedges re-resolve ring ownership at issue time: mid-cutover the
+        # hedge lands on the new owner while the primary waits on the old.
+        hedge_to = (
+            (lambda: self.ring.lookup(routing))
+            if self._req.config.hedging
+            else None
+        )
         for _ in range(_MAX_RING_CHASES):
             resp = yield from self._call(
-                self.ring.lookup(routing), self._wrap(op), size
+                self.ring.lookup(routing), self._wrap(op), size, hedge_to=hedge_to
             )
             if not self._is_stale(resp):
                 return resp
@@ -212,10 +220,13 @@ class KvClient:
         )
         return resp
 
-    def put(self, key: bytes, value: bytes) -> Generator[Event, None, None]:
+    def put(
+        self, key: bytes, value: bytes, inline_hint: bool = False
+    ) -> Generator[Event, None, None]:
         self.ops_issued += 1
         token = self._token()
-        op = ("put", key, value) if token is None else ("put", key, value, token)
+        kind = "puth" if inline_hint and self.inline_hints else "put"
+        op = (kind, key, value) if token is None else (kind, key, value, token)
         yield from self._routed(
             self.route_fn(key), op, MSG_OVERHEAD + len(key) + len(value)
         )
@@ -227,16 +238,21 @@ class KvClient:
         yield from self._routed(self.route_fn(key), op, MSG_OVERHEAD + len(key))
 
     def cas(
-        self, key: bytes, expected: Optional[bytes], new: Optional[bytes]
+        self,
+        key: bytes,
+        expected: Optional[bytes],
+        new: Optional[bytes],
+        inline_hint: bool = False,
     ) -> Generator[Event, None, bool]:
         """Atomic compare-and-set; ``expected=None`` means create-if-absent."""
         self.ops_issued += 1
         size = MSG_OVERHEAD + len(key) + (len(new) if new else 0)
         token = self._token()
+        kind = "cash" if inline_hint and self.inline_hints and new is not None else "cas"
         op = (
-            ("cas", key, expected, new)
+            (kind, key, expected, new)
             if token is None
-            else ("cas", key, expected, new, token)
+            else (kind, key, expected, new, token)
         )
         ok = yield from self._routed(self.route_fn(key), op, size)
         return ok

@@ -55,6 +55,7 @@ class FlashStats:
         self.cmt_misses = 0
         self.inline_gets = 0  # gets served without a data-page read
         self.inline_puts = 0
+        self.hinted_inline_puts = 0  # inlined on a client hint, not size alone
         self.adaptations = 0
 
 
@@ -168,10 +169,18 @@ class FlashKvModel:
             return
         yield from self._read_pages(self._data_pages(len(value)))
 
-    def charge_put(self, key: bytes, value: bytes) -> Generator[Event, None, None]:
+    def charge_put(
+        self, key: bytes, value: bytes, hint: bool = False
+    ) -> Generator[Event, None, None]:
+        """Charge one put.  ``hint=True`` marks a declared inline candidate
+        (KVFS attrs/dentries/small files): it is inlined whenever it fits a
+        translation page, even above the size-derived threshold."""
         self._tick()
         self.put_sizes.observe(len(value))
         inline = 0 < len(value) <= self.inline_threshold
+        if hint and not inline and 0 < len(value) <= self.params.kv_flash_page:
+            inline = True
+            self.stats.hinted_inline_puts += 1
         self._inlined[key] = inline
         self._cmt[key] = value if inline else None
         self._cmt.move_to_end(key)
@@ -262,6 +271,7 @@ class FlashKvModel:
             f"{prefix}.cmt_misses": s.cmt_misses,
             f"{prefix}.inline_gets": s.inline_gets,
             f"{prefix}.inline_puts": s.inline_puts,
+            f"{prefix}.hinted_inline_puts": s.hinted_inline_puts,
             f"{prefix}.adaptations": s.adaptations,
             f"{prefix}.inline_threshold": self.inline_threshold,
         }

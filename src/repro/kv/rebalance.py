@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
-from ..fault.retry import RetryPolicy, RpcTimeout, call_with_timeout
+from ..fault.requests import RequestEngine
+from ..fault.retry import RetryPolicy
 from ..params import SystemParams
 from ..sim.core import Environment, Event
 from ..sim.network import Fabric
@@ -91,9 +92,12 @@ class Rebalancer:
             backoff_mult=params.rpc_backoff_mult,
             jitter=0.0,  # migration pacing stays seed-independent
         )
+        # Migration chunks go through the shared request engine in its
+        # legacy (non-hedged) mode: the stream is paced and seed-independent,
+        # so hedging/adaptive policies stay off regardless of system config.
+        self._req = RequestEngine(env, fabric, name, self.retry, plane=plane, rng=None)
         self.splits = 0
         self.migrations: list[MigrationRecord] = []
-        self.chunk_retries = 0
         self._last_waits: dict[str, float] = {}
         self._mig_seq = 0
         self._busy = False
@@ -209,24 +213,20 @@ class Rebalancer:
         token = f"mig:{self._mig_seq}:{chunk_no}"
         payload = ("ingest", chunk, token)
         size = MSG_OVERHEAD + nbytes
-        for attempt in range(1, self.retry.max_attempts + 1):
-            try:
-                yield from call_with_timeout(
-                    self.env,
-                    self.fabric.rpc(self.name, dst, payload, size),
-                    self.retry.timeout,
-                )
-                rec.keys += len(chunk)
-                rec.bytes += nbytes
-                rec.chunks += 1
-                return
-            except RpcTimeout:
-                if attempt >= self.retry.max_attempts:
-                    raise
-                self.chunk_retries += 1
-                if self.plane is not None:
-                    self.plane.record("kv-mig-retry", self.name, f"{dst}#{attempt}")
-                yield self.env.timeout(self.retry.backoff(attempt, None))
+        yield from self._req.call(
+            dst,
+            payload,
+            size,
+            retry_kind="kv-mig-retry",
+            on_exhausted="raise-timeout",
+        )
+        rec.keys += len(chunk)
+        rec.bytes += nbytes
+        rec.chunks += 1
+
+    @property
+    def chunk_retries(self) -> int:
+        return self._req.retries
 
     # -- obsv --------------------------------------------------------------------
     def metrics(self) -> dict[str, float]:

@@ -60,7 +60,16 @@ MSG_OVERHEAD = 64
 STALE_RING = "__stale_ring__"
 
 #: base tuple arity of ops that may carry a trailing idempotency token
-_BASE_ARITY = {"put": 3, "delete": 2, "cas": 4, "batch": 2, "ingest": 2}
+#: ("puth"/"cash" are the inline-hinted variants of put/cas)
+_BASE_ARITY = {
+    "put": 3,
+    "puth": 3,
+    "delete": 2,
+    "cas": 4,
+    "cash": 4,
+    "batch": 2,
+    "ingest": 2,
+}
 
 
 def _split_token(op: tuple) -> tuple[tuple, Optional[str]]:
@@ -123,6 +132,9 @@ class KvShardServer:
         self.crashes = 0
         self.ops_served = 0
         self.stale_bounces = 0
+        #: requests dropped unanswered because a tied-request cancel
+        #: marked their rid abandoned before service
+        self.cancel_drops = 0
         #: cumulative seconds requests spent queued for a service thread —
         #: the scale-out experiments read this to locate shard saturation
         self.queue_wait_total = 0.0
@@ -216,12 +228,22 @@ class KvShardServer:
     def _handle(self, msg: Message) -> Generator[Event, None, None]:
         if self.failed:
             return  # crashed: the request vanishes; only a timeout saves the caller
+        if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+            # Tied-request loser, cancelled on the wire before admission:
+            # drop it unanswered without ever taking a service thread.
+            self.cancel_drops += 1
+            return
         enq = self.env.now
         req = self.threads.request()
         yield req
         self.queue_wait_total += self.env.now - enq
         self.sketches.observe("kv.shard.wait", self.env.now - enq)
         try:
+            if msg.rid is not None and self.endpoint.take_abandoned(msg.rid):
+                # The cancel landed while this request was queued: free the
+                # thread immediately instead of paying service time.
+                self.cancel_drops += 1
+                return
             payload = msg.payload
             stale = False
             version = None
@@ -283,6 +305,13 @@ class KvShardServer:
     ) -> Generator[Event, None, tuple[Any, int]]:
         p = self.params
         kind = op[0]
+        # Hinted variants: the client declared this value an inline candidate
+        # (attr/dentry/small-file shape).  Identical semantics; the flash
+        # model inlines it even above the size-derived threshold.
+        inline_hint = kind in ("puth", "cash")
+        if inline_hint:
+            kind = "put" if kind == "puth" else "cas"
+            op = (kind,) + op[1:]
         if kind == "get":
             # Peek at the value to pick the service tier: small (metadata)
             # values sit in the store's cache tier; data blocks hit media.
@@ -310,7 +339,7 @@ class KvShardServer:
             if (yield from self._migration_gate(op[1])):
                 return self._stale_reply()
             if self.flash is not None:
-                yield from self.flash.charge_put(op[1], op[2])
+                yield from self.flash.charge_put(op[1], op[2], hint=inline_hint)
             if self._stale_now(version):
                 return self._stale_reply()
             self._apply_put(op[1], op[2])
@@ -362,7 +391,7 @@ class KvShardServer:
                     self._apply_delete(key)
                 else:
                     if self.flash is not None:
-                        yield from self.flash.charge_put(key, new)
+                        yield from self.flash.charge_put(key, new, hint=inline_hint)
                     if self._stale_now(version):
                         return self._stale_reply()
                     self._apply_put(key, new)

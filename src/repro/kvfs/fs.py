@@ -132,7 +132,9 @@ class Kvfs:
                 mtime=self._clock(),
             )
             yield from self.kv.put(
-                schema.attr_key(schema.ROOT_INO), schema.pack_attr(attr)
+                schema.attr_key(schema.ROOT_INO),
+                schema.pack_attr(attr),
+                inline_hint=True,
             )
         self._root_ready = True
         gate.open()
@@ -145,7 +147,9 @@ class Kvfs:
                 raw = yield from self.kv.get(schema.counter_key())
                 current = struct.unpack(">Q", raw)[0] if raw else 1
                 new = struct.pack(">Q", current + batch)
-                ok = yield from self.kv.cas(schema.counter_key(), raw, new)
+                ok = yield from self.kv.cas(
+                    schema.counter_key(), raw, new, inline_hint=True
+                )
                 if ok:
                     self._ino_next, self._ino_limit = current, current + batch
                     break
@@ -171,7 +175,9 @@ class Kvfs:
 
     def _put_attr(self, attr: FileAttr) -> Generator[Event, None, None]:
         self._attr_cache[attr.ino] = attr
-        yield from self.kv.put(schema.attr_key(attr.ino), schema.pack_attr(attr))
+        yield from self.kv.put(
+            schema.attr_key(attr.ino), schema.pack_attr(attr), inline_hint=True
+        )
 
     def _get_fobj(self, ino: int) -> Generator[Event, None, FileObject]:
         fo = self._fobj_cache.get(ino)
@@ -221,7 +227,10 @@ class Kvfs:
         ino = yield from self._alloc_ino()
         # Atomic claim of the directory slot.
         ok = yield from self.kv.cas(
-            schema.inode_key(p_ino, name), None, struct.pack(">Q", ino)
+            schema.inode_key(p_ino, name),
+            None,
+            struct.pack(">Q", ino),
+            inline_hint=True,
         )
         if not ok:
             raise KvfsError(Errno.EEXIST, name.decode(errors="replace"))
@@ -251,7 +260,7 @@ class Kvfs:
         self.ops["meta"] += 1
         yield from self._charge()
         attr = yield from self._create_node(p_ino, name, S_IFLNK | 0o777, 1)
-        yield from self.kv.put(schema.small_key(attr.ino), target)
+        yield from self.kv.put(schema.small_key(attr.ino), target, inline_hint=True)
         attr = dataclasses.replace(attr, size=len(target))
         yield from self._put_attr(attr)
         return attr
@@ -273,7 +282,10 @@ class Kvfs:
         if attr.is_dir:
             raise KvfsError(Errno.EISDIR)
         ok = yield from self.kv.cas(
-            schema.inode_key(p_ino, name), None, struct.pack(">Q", ino)
+            schema.inode_key(p_ino, name),
+            None,
+            struct.pack(">Q", ino),
+            inline_hint=True,
         )
         if not ok:
             raise KvfsError(Errno.EEXIST)
@@ -444,7 +456,9 @@ class Kvfs:
                 raw = yield from self.kv.get(schema.small_key(ino))
                 cur = bytearray((raw or b"").ljust(max(attr.size, end), b"\0"))
                 cur[offset:end] = data
-                yield from self.kv.put(schema.small_key(ino), bytes(cur))
+                yield from self.kv.put(
+                    schema.small_key(ino), bytes(cur), inline_hint=True
+                )
                 if extend:
                     yield from self._update_size(attr, max(attr.size, end), big=False)
                 return len(data)
@@ -516,7 +530,7 @@ class Kvfs:
             raw = yield from self.kv.get(schema.small_key(ino))
             cur = (raw or b"")[:size].ljust(size, b"\0")
             if size <= self.small_limit:
-                yield from self.kv.put(schema.small_key(ino), cur)
+                yield from self.kv.put(schema.small_key(ino), cur, inline_hint=True)
                 yield from self._update_size(attr, size, big=False)
                 return
             yield from self.kv.delete(schema.small_key(ino))

@@ -181,6 +181,13 @@ def render_report(systems, title: str = "flight recorder") -> str:
                     v = snap[prefix]
                     lines.append(f"  {prefix:<20} {v:.4g}" if isinstance(v, float)
                                  else f"  {prefix:<20} {v}")
+            req_keys = sorted(k for k in snap if k.startswith("req."))
+            if req_keys:
+                lines.append("request engine (per destination endpoint):")
+                for k in req_keys:
+                    v = snap[k]
+                    lines.append(f"  {k:<28} {v:.4g}" if isinstance(v, float)
+                                 else f"  {k:<28} {v}")
     return "\n".join(lines) + "\n"
 
 
@@ -222,6 +229,14 @@ def run_experiment(experiment: str, case: Optional[str], threads: int, ops: int)
         from ..experiments.multidev import run_point as run_multidev
 
         run_multidev("4k_randread", 2, nthreads=threads, ops_per_thread=ops)
+    elif experiment == "slo":
+        from ..experiments.slo import run_variant as run_slo
+
+        run_slo("degraded", nthreads=threads, ops_per_thread=ops)
+    elif experiment == "hedge":
+        from ..experiments.hedge import run_point as run_hedge
+
+        run_hedge("full", True, nthreads=threads, ops_per_thread=ops)
     else:
         raise SystemExit(f"unknown experiment {experiment!r}")
     return ctx
@@ -234,7 +249,7 @@ def main(argv=None) -> int:
     )
     ap.add_argument("--experiment", default="fig9",
                     choices=["fig2", "fig8", "fig9", "fault_ablation",
-                             "scaleout", "kvflash", "multidev"])
+                             "scaleout", "kvflash", "multidev", "slo", "hedge"])
     ap.add_argument("--case", default=None, help="fig9 workload case (e.g. rnd-wr)")
     ap.add_argument("--threads", type=int, default=2)
     ap.add_argument("--ops", type=int, default=4)

@@ -154,6 +154,11 @@ class SystemParams:
     #: 0 = static threshold; N > 0 re-derives the threshold from the observed
     #: value-size histogram every N engine operations (KVPack-D style)
     kv_inline_adapt_window: int = 0
+    #: put-side inlining hints: KVFS declares attr/dentry/small-file keys as
+    #: inline candidates end-to-end; hinted values inline up to one flash
+    #: page regardless of the size-derived threshold.  False keeps the
+    #: size-only behaviour (and the wire ops) bit-identical.
+    kv_inline_hints: bool = False
 
     # ---- elastic KV: hash ring + rebalancer (see DESIGN.md §14) -------------------
     #: route requests through a versioned consistent-hash ring instead of the
@@ -310,6 +315,31 @@ class SystemParams:
     kv_wal_replay_per_entry: float = 2 * US
     #: data-server restart cost (process respawn + re-register)
     ds_restart_delay: float = 500 * US
+
+    # ---- unified request engine: hedging / tied requests / adaptive retry -------
+    # (see DESIGN.md §16).  Both policies default off: the engine then runs
+    # the exact legacy retry loop and the event stream stays bit-identical.
+    #: hedge a second attempt after a p99-derived per-endpoint delay
+    req_hedging: bool = False
+    req_hedge_quantile: float = 0.99
+    req_hedge_multiplier: float = 1.0
+    #: clamp the derived hedge delay into [floor, ceiling] seconds
+    req_hedge_floor: float = 30e-6
+    req_hedge_ceiling: float = 2e-3
+    #: extra attempts one logical request may hedge
+    req_hedge_max: int = 1
+    #: sketch observations required before an endpoint's quantiles are used
+    req_hedge_min_obs: int = 16
+    #: cancel the losing tied attempt on the wire (fabric cancel message)
+    req_tied_cancel: bool = True
+    #: quantile-fed attempt deadlines, backoff pacing and retry budgets
+    req_adaptive_retry: bool = False
+    #: retries allowed per endpoint: budget_min + budget_ratio * attempts
+    req_budget_ratio: float = 0.1
+    req_budget_min: int = 8
+    #: adaptive attempt deadline = quantile * multiplier (capped at rpc_timeout)
+    req_timeout_quantile: float = 0.999
+    req_timeout_multiplier: float = 3.0
 
     # ---- SLO engine & streaming quantile sketches (see DESIGN.md §15) -------------------
     #: feed per-endpoint DDSketch-style quantile sketches from the choke

@@ -13,6 +13,7 @@ waits for the service to reply, and returns the response payload.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
@@ -32,6 +33,15 @@ class Message:
     payload: Any
     size: int
     reply_to: Optional[Store] = None
+    #: request id for tied-request cancellation; None for uncancellable sends
+    rid: Optional[tuple] = None
+
+
+#: fabric header bytes a cancel message occupies on the wire
+CANCEL_SIZE = 64
+
+#: abandoned-rid set bound per endpoint (oldest evicted first)
+_ABANDON_CAP = 4096
 
 
 class RpcEndpoint:
@@ -45,6 +55,22 @@ class RpcEndpoint:
         self.rx = TokenBucket(env, bandwidth, name=f"{name}-rx")
         self.messages_in = 0
         self.messages_out = 0
+        #: rids cancelled by a tied-request loser; servers check-and-clear
+        #: before (and after) queuing for a service thread
+        self._abandoned: "OrderedDict[tuple, None]" = OrderedDict()
+
+    def abandon(self, rid: tuple) -> None:
+        """Mark ``rid`` abandoned: its request should not be serviced."""
+        self._abandoned[rid] = None
+        while len(self._abandoned) > _ABANDON_CAP:
+            self._abandoned.popitem(last=False)
+
+    def take_abandoned(self, rid: tuple) -> bool:
+        """Check-and-clear: True when ``rid`` was cancelled on the wire."""
+        if rid in self._abandoned:
+            del self._abandoned[rid]
+            return True
+        return False
 
 
 class Fabric:
@@ -81,7 +107,13 @@ class Fabric:
 
     # -- one-way send -----------------------------------------------------------
     def send(
-        self, src: str, dst: str, payload: Any, size: int, reply_to: Optional[Store] = None
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size: int,
+        reply_to: Optional[Store] = None,
+        rid: Optional[tuple] = None,
     ) -> Generator[Event, None, None]:
         """Transmit a message; completes when it lands in ``dst``'s inbox."""
         t0 = self.env.now
@@ -105,7 +137,7 @@ class Fabric:
         yield self.env.timeout(self.latency + extra)
         yield dep.rx.transfer(size)
         dep.messages_in += 1
-        yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
+        yield dep.inbox.put(Message(src, dst, payload, size, reply_to, rid))
         self.sketches.observe("net.send", self.env.now - t0)
         if action == "dup":
             # Fabric-level duplication: a second copy lands after paying the
@@ -113,7 +145,37 @@ class Fabric:
             self.messages_duplicated += 1
             yield dep.rx.transfer(size)
             dep.messages_in += 1
-            yield dep.inbox.put(Message(src, dst, payload, size, reply_to))
+            yield dep.inbox.put(Message(src, dst, payload, size, reply_to, rid))
+
+    # -- tied-request cancellation ---------------------------------------------
+    def cancel(self, src: str, dst: str, rid: tuple) -> Generator[Event, None, None]:
+        """Cancel an in-flight request on the wire (tied-request loser).
+
+        A real fabric-level cancel message: it pays the sender's egress
+        pipe, the propagation latency and the receiver's ingress pipe, and
+        may itself be dropped by a faulty channel (the abandoned request is
+        then serviced normally — cancellation is best-effort).  On arrival
+        the destination endpoint records the rid; the server's abandon
+        check before/after thread admission drops the request unanswered.
+        """
+        sep = self.endpoints.get(src)
+        dep = self.endpoints.get(dst)
+        if sep is None or dep is None:
+            return
+        sep.messages_out += 1
+        action, extra = (
+            ("ok", 0.0)
+            if self.fault_plane is None
+            else self.fault_plane.channel_action(src, dst)
+        )
+        yield sep.tx.transfer(CANCEL_SIZE)
+        if action == "drop":
+            self.messages_dropped += 1
+            return
+        yield self.env.timeout(self.latency + extra)
+        yield dep.rx.transfer(CANCEL_SIZE)
+        dep.messages_in += 1
+        dep.abandon(rid)
 
     # -- request/response -----------------------------------------------------
     def rpc(
@@ -123,6 +185,7 @@ class Fabric:
         payload: Any,
         req_size: int,
         resp_wait: bool = True,
+        rid: Optional[tuple] = None,
     ) -> Generator[Event, None, Any]:
         """Send ``payload`` to ``dst`` and wait for the service's reply.
 
@@ -130,7 +193,7 @@ class Fabric:
         Returns the reply payload.
         """
         mailbox: Store = Store(self.env)
-        yield from self.send(src, dst, payload, req_size, reply_to=mailbox)
+        yield from self.send(src, dst, payload, req_size, reply_to=mailbox, rid=rid)
         if not resp_wait:
             return None
         got = mailbox.get()

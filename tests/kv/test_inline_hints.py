@@ -1,0 +1,168 @@
+"""Put-side inline hints: KVFS-declared small objects inline on flash.
+
+A hint is an explicit declaration by the writer (attrs, dentries, small
+file bodies) that the value is a point-lookup object worth keeping in the
+CMT.  Hinted values inline whenever they fit one flash page, even above
+the size-derived threshold; unhinted values still obey the threshold.
+"""
+
+from repro.kv.client import KvClient
+from repro.kv.flash import FlashKvModel
+from repro.kv.server import KvCluster
+from repro.kvfs import schema
+from repro.kvfs.fs import Kvfs
+from repro.params import default_params
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.sim.network import Fabric
+
+
+def run(env, gen):
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+# -- flash model ------------------------------------------------------------
+
+
+def make_model(**overrides):
+    params = default_params().with_overrides(kv_flash_model=True, **overrides)
+    env = Environment(seed=params.seed)
+    return env, FlashKvModel(env, params)
+
+
+def test_hint_inlines_above_size_threshold():
+    env, m = make_model(kv_inline_enabled=True, kv_inline_max=512)
+    big = b"v" * 3072  # over the 512B threshold, fits one 4KiB flash page
+
+    def flow():
+        yield from m.charge_put(b"hinted", big, hint=True)
+        yield from m.charge_put(b"plain", big)
+
+    run(env, flow())
+    assert m.is_inlined(b"hinted") is True
+    assert m.is_inlined(b"plain") is False
+    assert m.stats.hinted_inline_puts == 1
+    assert m.stats.inline_puts == 1
+
+
+def test_hint_works_with_size_inlining_disabled():
+    # kv_inline_enabled=False means threshold 0: nothing inlines on size,
+    # but an explicit hint still does.
+    env, m = make_model(kv_inline_enabled=False)
+
+    def flow():
+        yield from m.charge_put(b"hinted", b"v" * 256, hint=True)
+        yield from m.charge_put(b"plain", b"v" * 256)
+
+    run(env, flow())
+    assert m.is_inlined(b"hinted") is True
+    assert m.is_inlined(b"plain") is False
+    assert m.stats.hinted_inline_puts == 1
+
+
+def test_hint_never_inlines_past_one_flash_page():
+    env, m = make_model(kv_inline_enabled=True, kv_inline_max=512)
+    huge = b"v" * (default_params().kv_flash_page + 1)
+
+    def flow():
+        yield from m.charge_put(b"huge", huge, hint=True)
+
+    run(env, flow())
+    assert m.is_inlined(b"huge") is False
+    assert m.stats.hinted_inline_puts == 0
+
+
+def test_hinted_get_is_served_inline():
+    env, m = make_model(kv_inline_enabled=False)
+    val = b"v" * 1024
+
+    def flow():
+        yield from m.charge_put(b"k", val, hint=True)
+        yield from m.charge_get(b"k", val)
+
+    run(env, flow())
+    assert m.stats.inline_gets == 1  # no data-page flash read
+
+
+# -- end-to-end over the wire ----------------------------------------------
+
+
+def build_kv(inline_hints):
+    p = default_params().with_overrides(kv_flash_model=True)
+    env = Environment(seed=p.seed)
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    cluster = KvCluster(env, fabric, p)
+    fabric.attach("cli")
+    client = KvClient(
+        fabric, "cli", cluster.shard_names(), inline_hints=inline_hints
+    )
+    return env, cluster, client
+
+
+def hinted_puts(cluster):
+    return sum(s.flash.stats.hinted_inline_puts for s in cluster.shards)
+
+
+def test_put_hint_reaches_shard_flash():
+    env, cluster, client = build_kv(inline_hints=True)
+    val = b"v" * 1024
+
+    def flow():
+        yield from client.put(b"attrkey", val, inline_hint=True)
+        yield from client.put(b"blockkey", val)  # unhinted rides "put"
+        return (yield from client.get(b"attrkey"))
+
+    assert run(env, flow()) == val
+    assert hinted_puts(cluster) == 1
+
+
+def test_cas_hint_reaches_shard_flash():
+    env, cluster, client = build_kv(inline_hints=True)
+
+    def flow():
+        ok = yield from client.cas(b"dentry", None, b"d" * 700, inline_hint=True)
+        return ok, (yield from client.get(b"dentry"))
+
+    ok, value = run(env, flow())
+    assert ok is True and value == b"d" * 700
+    assert hinted_puts(cluster) == 1
+
+
+def test_hints_off_by_default_keeps_wire_kind():
+    # With the client-side gate off, inline_hint=True degrades to a plain
+    # put: nothing hinted reaches the flash model.
+    env, cluster, client = build_kv(inline_hints=False)
+
+    def flow():
+        yield from client.put(b"attrkey", b"v" * 1024, inline_hint=True)
+        return (yield from client.get(b"attrkey"))
+
+    assert run(env, flow()) == b"v" * 1024
+    assert hinted_puts(cluster) == 0
+
+
+# -- through KVFS -----------------------------------------------------------
+
+
+def test_kvfs_metadata_and_small_files_are_hinted():
+    p = default_params().with_overrides(kv_flash_model=True)
+    env = Environment(seed=p.seed)
+    fabric = Fabric(env, latency=p.net_latency, default_bandwidth=p.net_bandwidth)
+    cluster = KvCluster(env, fabric, p)
+    fabric.attach("dpu")
+    kv = KvClient(
+        fabric, "dpu", cluster.shard_names(),
+        route_fn=schema.routing_key, scan_route_fn=schema.scan_routing,
+        inline_hints=True,
+    )
+    fs = Kvfs(env, kv, CpuPool(env, p.dpu_cores, perf=p.dpu_perf, switch_cost=0), p)
+
+    def flow():
+        attr = yield from fs.create(schema.ROOT_INO, b"small.txt")
+        yield from fs.write(attr.ino, 0, b"x" * 512)  # small-file inline body
+        return (yield from fs.read(attr.ino, 0, 512))
+
+    assert run(env, flow()) == b"x" * 512
+    # root attrs, ino-counter cas, file attr, dentry, small-file body...
+    assert hinted_puts(cluster) >= 3
